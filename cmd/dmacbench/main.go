@@ -1,0 +1,133 @@
+// dmacbench regenerates the paper's evaluation: every figure and table of
+// Section 6, plus the heuristic ablation study. Each experiment prints a
+// text table whose rows/series correspond to the paper's plot.
+//
+// Usage:
+//
+//	dmacbench -exp all
+//	dmacbench -exp fig6 -iters 10
+//	dmacbench -exp fig8 -graph LiveJournal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dmac/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | all")
+	iters := flag.Int("iters", 10, "iterations for iterative workloads")
+	scale := flag.Int("scale", 40, "Netflix scale denominator for fig6/table4")
+	graph := flag.String("graph", "soc-pokec", "graph for fig8")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "\n================ %s ================\n", name)
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("fig6", func() error {
+		res, err := bench.Fig6(*iters, *scale, 32)
+		if err != nil {
+			return err
+		}
+		res.Write(w)
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := bench.Fig7(nil)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig7(w, rows)
+		return nil
+	})
+	run("fig8", func() error {
+		points, threshold, err := bench.Fig8(*graph, 4000, nil)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig8(w, *graph, points, threshold)
+		return nil
+	})
+	run("fig9a", func() error {
+		rows, err := bench.Fig9a(nil, 5)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig9a(w, rows)
+		return nil
+	})
+	run("fig9b", func() error {
+		rows, err := bench.Fig9b()
+		if err != nil {
+			return err
+		}
+		bench.WriteFig9b(w, rows)
+		return nil
+	})
+	run("fig10ab", func() error {
+		gnmf, linreg, err := bench.Fig10ab(nil, 0, 0, 3)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig10(w, "Figure 10(a): GNMF, data scaling", "nnz (M)", gnmf)
+		fmt.Fprintln(w)
+		bench.WriteFig10(w, "Figure 10(b): LinReg, data scaling", "nnz (M)", linreg)
+		return nil
+	})
+	run("fig10cd", func() error {
+		gnmf, linreg, err := bench.Fig10cd(nil, 0, 0, 0, 3)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig10(w, "Figure 10(c): GNMF, worker scaling", "workers", gnmf)
+		fmt.Fprintln(w)
+		bench.WriteFig10(w, "Figure 10(d): LinReg, worker scaling", "workers", linreg)
+		return nil
+	})
+	run("table3", func() error {
+		bench.Table3(w)
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := bench.Table4(*scale)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable4(w, rows)
+		return nil
+	})
+	run("ablation", func() error {
+		gnmf, err := bench.AblationGNMF(3)
+		if err != nil {
+			return err
+		}
+		bench.WriteAblation(w, "Ablation: GNMF communication by planner configuration", gnmf)
+		fmt.Fprintln(w)
+		cf, err := bench.AblationCF()
+		if err != nil {
+			return err
+		}
+		bench.WriteAblation(w, "Ablation: CF communication by planner configuration", cf)
+		fmt.Fprintln(w)
+		pullUp, reassign, err := bench.AblationMicro()
+		if err != nil {
+			return err
+		}
+		bench.WriteAblation(w, "Ablation: Pull-Up Broadcast on its trigger workload", pullUp)
+		fmt.Fprintln(w)
+		bench.WriteAblation(w, "Ablation: Re-assignment on its trigger workload", reassign)
+		return nil
+	})
+}

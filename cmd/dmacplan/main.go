@@ -1,0 +1,95 @@
+// dmacplan explains the execution plan DMac (or the SystemML-S baseline)
+// generates for one of the bundled application programs — the Figure 3
+// analogue. It prints the operator table with stages, strategies, dependency
+// types and communication estimates, and optionally the Graphviz DAG.
+//
+// Usage:
+//
+//	dmacplan -app gnmf [-planner dmac|systemml] [-workers 4] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dmac/internal/apps"
+	"dmac/internal/core"
+	"dmac/internal/dep"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+)
+
+func main() {
+	app := flag.String("app", "gnmf", "program: gnmf | pagerank | cf | linreg-q")
+	planner := flag.String("planner", "dmac", "planner: dmac | systemml")
+	workers := flag.Int("workers", 4, "cluster workers (N)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the table")
+	flag.Parse()
+
+	prog, vars, err := buildProgram(*app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{Workers: *workers, Vars: vars}
+	var plan *core.Plan
+	switch *planner {
+	case "dmac":
+		plan, err = core.Generate(prog, cfg)
+	case "systemml":
+		plan, err = core.GenerateSystemMLS(prog, cfg)
+	default:
+		log.Fatalf("unknown planner %q", *planner)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.Check(); err != nil {
+		log.Fatalf("generated plan failed validation: %v", err)
+	}
+	if *dot {
+		fmt.Fprint(os.Stdout, plan.DOT())
+		return
+	}
+	fmt.Printf("%s plan for %s (N=%d):\n\n%s", *planner, *app, *workers, plan)
+}
+
+// buildProgram constructs the named program with the paper's dataset shapes
+// and the session schemes a steady-state iteration would see.
+func buildProgram(app string) (*expr.Program, map[string][]dep.Scheme, error) {
+	switch app {
+	case "gnmf":
+		// Netflix shape, factor 200, session schemes of Figure 3.
+		prog := apps.GNMFIteration(17770, 480189, 200, 0.01)
+		return prog, map[string][]dep.Scheme{
+			"V": {dep.Col},
+			"W": {dep.Row},
+			"H": {dep.Col},
+		}, nil
+	case "pagerank":
+		prog := apps.PageRankIteration(1632803, 18.75/1632803.0)
+		return prog, map[string][]dep.Scheme{
+			"link": {dep.Col},
+			"rank": {dep.Col},
+			"D":    {dep.Col},
+		}, nil
+	case "cf":
+		p := expr.NewProgram()
+		R := p.Var("R", 17770, 480189, 0.01)
+		sim := p.Mul(R, R.T())
+		p.Assign("result", p.Mul(sim, R))
+		return p, map[string][]dep.Scheme{"R": {dep.Row}}, nil
+	case "linreg-q":
+		// The q-step of conjugate gradient: q = Vᵀ(V p) + p*lambda.
+		p := expr.NewProgram()
+		V := p.Var("V", 100000000, 100000, 1e-4)
+		pv := p.Var("p", 100000, 1, 1)
+		q := p.Add(p.Mul(V.T(), p.Mul(V, pv)), p.Scalar(matrix.ScalarMul, pv, 1e-6))
+		p.Value("pq", p.Mul(pv.T(), q))
+		p.Assign("q", q)
+		return p, map[string][]dep.Scheme{"V": {dep.Row}, "p": {dep.Row}}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown app %q (want gnmf, pagerank, cf, linreg-q)", app)
+	}
+}

@@ -1,0 +1,3 @@
+module dmac
+
+go 1.22

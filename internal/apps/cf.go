@@ -1,0 +1,58 @@
+package apps
+
+import (
+	"dmac/internal/engine"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+)
+
+// CF runs the item-based collaborative filtering of Code 3 on a ratings
+// matrix R (items x users):
+//
+//	result  = R %*% Rᵀ %*% R
+//	predict = result.normalize
+//
+// The normalization step divides by the Frobenius norm of the result — a
+// driver scalar computed by an aggregate, flowing back in as a parameter.
+// The predictions are left in session variable "predict".
+func CF(e *engine.Engine, r *matrix.Grid) (*Result, error) {
+	if err := bindAll(e, map[string]*matrix.Grid{"R": r}); err != nil {
+		return nil, err
+	}
+	items, users := r.Rows(), r.Cols()
+	rs := sparsityOf(r)
+
+	// R %*% Rᵀ is the item-similarity matrix; multiplying it with R gives
+	// the predicted ratings.
+	scoreProg := expr.NewProgram()
+	{
+		R := scoreProg.Var("R", items, users, rs)
+		sim := scoreProg.Mul(R, R.T())
+		result := scoreProg.Mul(sim, R)
+		scoreProg.Norm2("result_norm", result)
+		scoreProg.Assign("result", result)
+	}
+	normProg := expr.NewProgram()
+	{
+		result := normProg.Var("result", items, users, 1)
+		normProg.Assign("predict", normProg.ScalarParam(matrix.ScalarMul, result, "inv_norm"))
+	}
+	res := &Result{Scalars: map[string]float64{}}
+	m1, err := e.Run(scoreProg, nil)
+	if err != nil {
+		return nil, err
+	}
+	norm, _ := e.Scalar("result_norm")
+	inv := 0.0
+	if norm != 0 {
+		inv = 1 / norm
+	}
+	m2, err := e.Run(normProg, map[string]float64{"inv_norm": inv})
+	if err != nil {
+		return nil, err
+	}
+	m1.Add(m2)
+	res.PerIteration = append(res.PerIteration, m1)
+	res.Scalars["result_norm"] = norm
+	return res, nil
+}

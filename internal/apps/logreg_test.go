@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"testing"
+
+	"dmac/internal/engine"
+	"dmac/internal/matrix"
+)
+
+func TestLogRegLearnsAndAgrees(t *testing.T) {
+	v, y, _ := LabeledData(31, 120, 12, testBS, 0.4)
+	ws := map[engine.Planner]*matrix.Grid{}
+	var nll1, nllEnd float64
+	for _, p := range []engine.Planner{engine.Local, engine.DMac, engine.SystemMLS} {
+		e := newEngine(p)
+		res, err := LogReg(e, v.Clone(), y.Clone(), 0.5, 1e-4, 30, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		w, ok := e.Grid("w")
+		if !ok {
+			t.Fatalf("%s: w missing", p)
+		}
+		ws[p] = w
+		if p == engine.Local {
+			nllEnd = res.Scalars["nll"]
+		}
+	}
+	if !matrix.GridEqual(ws[engine.DMac], ws[engine.Local], 1e-8) {
+		t.Error("DMac weights differ from local")
+	}
+	if !matrix.GridEqual(ws[engine.SystemMLS], ws[engine.Local], 1e-8) {
+		t.Error("SystemML-S weights differ from local")
+	}
+	// The loss decreases with training.
+	eShort := newEngine(engine.Local)
+	resShort, err := LogReg(eShort, v.Clone(), y.Clone(), 0.5, 1e-4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nll1 = resShort.Scalars["nll"]
+	if nllEnd >= nll1 {
+		t.Errorf("NLL did not decrease: %v -> %v", nll1, nllEnd)
+	}
+	// Training accuracy beats chance comfortably.
+	scores, err := matrix.MulGrid(v, ws[engine.Local])
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < v.Rows(); i++ {
+		pred := 0.0
+		if scores.At(i, 0) > 0 {
+			pred = 1
+		}
+		if pred == y.At(i, 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(v.Rows()); acc < 0.85 {
+		t.Errorf("training accuracy %.2f, want >= 0.85", acc)
+	}
+}
+
+func TestLogRegValidatesShapes(t *testing.T) {
+	e := newEngine(engine.Local)
+	v, _, _ := LabeledData(1, 30, 5, testBS, 0.5)
+	badY := matrix.NewDenseGrid(29, 1, testBS)
+	if _, err := LogReg(e, v, badY, 0.1, 0, 1, 1); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestLabeledDataBalanced(t *testing.T) {
+	_, y, _ := LabeledData(5, 400, 20, testBS, 0.3)
+	pos := 0
+	for i := 0; i < 400; i++ {
+		if y.At(i, 0) == 1 {
+			pos++
+		}
+	}
+	// Both classes present with at least 10% each.
+	if pos < 40 || pos > 360 {
+		t.Errorf("class balance: %d/400 positive", pos)
+	}
+}

@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"testing"
+
+	"dmac/internal/engine"
+	"dmac/internal/matrix"
+	"dmac/internal/workload"
+)
+
+// bruteTriangles counts triangles by enumerating all vertex triples.
+func bruteTriangles(g *matrix.Grid) int {
+	n := g.Rows()
+	d := g.ToDense()
+	at := func(i, j int) bool { return d[i*n+j] != 0 }
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !at(i, j) {
+				continue
+			}
+			for k := j + 1; k < n; k++ {
+				if at(j, k) && at(i, k) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	adj := Symmetrize(workload.PowerLawGraph(21, 60, 5, testBS))
+	want := bruteTriangles(adj)
+	for _, p := range []engine.Planner{engine.Local, engine.DMac, engine.SystemMLS} {
+		e := newEngine(p)
+		_, got, err := TriangleCount(e, adj.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if int(got+0.5) != want {
+			t.Errorf("%s: triangles = %v, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	// K4: 4 triangles.
+	var coords []matrix.Coord
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				coords = append(coords, matrix.Coord{Row: i, Col: j, Val: 1})
+			}
+		}
+	}
+	k4 := matrix.FromCoords(4, 4, testBS, coords)
+	e := newEngine(engine.Local)
+	_, got, err := TriangleCount(e, k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("K4 triangles = %v, want 4", got)
+	}
+	// A 4-cycle has none.
+	cycle := matrix.FromCoords(4, 4, testBS, []matrix.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 1, Col: 2, Val: 1}, {Row: 2, Col: 1, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+		{Row: 3, Col: 0, Val: 1}, {Row: 0, Col: 3, Val: 1},
+	})
+	e2 := newEngine(engine.Local)
+	_, got, err = TriangleCount(e2, cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("C4 triangles = %v, want 0", got)
+	}
+	// Non-square input is rejected.
+	e3 := newEngine(engine.Local)
+	if _, _, err := TriangleCount(e3, matrix.NewDenseGrid(3, 4, testBS)); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	g := workload.PowerLawGraph(5, 40, 4, testBS)
+	sym := Symmetrize(g)
+	d := sym.ToDense()
+	n := sym.Rows()
+	for i := 0; i < n; i++ {
+		if d[i*n+i] != 0 {
+			t.Fatalf("diagonal entry at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			if d[i*n+j] != d[j*n+i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if v := d[i*n+j]; v != 0 && v != 1 {
+				t.Fatalf("non-binary weight %v", v)
+			}
+		}
+	}
+	// Every original edge is present in some direction.
+	orig := g.ToDense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && orig[i*n+j] != 0 && d[i*n+j] == 0 {
+				t.Fatalf("edge (%d,%d) lost", i, j)
+			}
+		}
+	}
+}

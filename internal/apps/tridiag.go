@@ -1,0 +1,85 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigTridiag computes all eigenvalues of a symmetric tridiagonal matrix with
+// the given diagonal (length n) and sub-diagonal (length n-1), in ascending
+// order. It uses bisection over Sturm sequences, which is robust and exact
+// to the requested tolerance — sufficient for the small tridiagonal systems
+// the Lanczos SVD builds at the driver (Code 5 line 22,
+// "triDiag.computeSingularValue").
+func EigTridiag(diag, sub []float64) ([]float64, error) {
+	n := len(diag)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(sub) != n-1 {
+		return nil, fmt.Errorf("apps: sub-diagonal length %d, want %d", len(sub), n-1)
+	}
+	// Gershgorin bounds.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		radius := 0.0
+		if i > 0 {
+			radius += math.Abs(sub[i-1])
+		}
+		if i < n-1 {
+			radius += math.Abs(sub[i])
+		}
+		lo = math.Min(lo, diag[i]-radius)
+		hi = math.Max(hi, diag[i]+radius)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	tol := 1e-12 * span
+
+	// countBelow returns the number of eigenvalues strictly less than x
+	// (Sturm sequence sign count).
+	sq := make([]float64, n-1)
+	for i, v := range sub {
+		sq[i] = v * v
+	}
+	countBelow := func(x float64) int {
+		count := 0
+		d := diag[0] - x
+		if d < 0 {
+			count++
+		}
+		for i := 1; i < n; i++ {
+			den := d
+			if den == 0 {
+				den = 1e-300
+			}
+			d = diag[i] - x - sq[i-1]/den
+			if d < 0 {
+				count++
+			}
+		}
+		return count
+	}
+
+	eig := make([]float64, n)
+	for k := 0; k < n; k++ {
+		a, b := lo, hi
+		for b-a > tol {
+			mid := (a + b) / 2
+			if countBelow(mid) <= k {
+				a = mid
+			} else {
+				b = mid
+			}
+			if mid == a && mid == b {
+				break
+			}
+		}
+		eig[k] = (a + b) / 2
+	}
+	sort.Float64s(eig)
+	return eig, nil
+}

@@ -1,0 +1,79 @@
+package scidb
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmac/internal/baselines/scalapack"
+	"dmac/internal/matrix"
+)
+
+func randGrid(rng *rand.Rand, rows, cols, bs int, s float64) *matrix.Grid {
+	var coords []matrix.Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < s {
+				coords = append(coords, matrix.Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return matrix.FromCoords(rows, cols, bs, coords)
+}
+
+func TestMultiplyCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randGrid(rng, 18, 12, 5, 0.4)
+	b := randGrid(rng, 12, 16, 5, 0.6)
+	res, err := Multiply(a, b, Config{ScaLAPACK: scalapack.Config{ProcRows: 2, ProcCols: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := matrix.MulGrid(a, b)
+	if !matrix.GridEqual(res.Grid, want, 1e-9) {
+		t.Error("product wrong")
+	}
+	if res.Chunks <= 0 {
+		t.Error("no chunks accounted")
+	}
+}
+
+func TestSciDBSlowerThanScaLAPACK(t *testing.T) {
+	// The paper: SciDB pays redistribution + failure handling on top of
+	// ScaLAPACK, so it must be strictly slower in the model.
+	rng := rand.New(rand.NewSource(2))
+	a := randGrid(rng, 30, 30, 10, 1)
+	inner := scalapack.Config{ProcRows: 4, ProcCols: 4}
+	sres, err := Multiply(a, a, Config{ScaLAPACK: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := scalapack.Multiply(a, a, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.ModelSeconds <= pres.ModelSeconds {
+		t.Errorf("SciDB model %v should exceed ScaLAPACK %v", sres.ModelSeconds, pres.ModelSeconds)
+	}
+	if sres.CommBytes <= pres.CommBytes {
+		t.Error("SciDB traffic should include redistribution")
+	}
+}
+
+func TestShapeError(t *testing.T) {
+	if _, err := Multiply(matrix.NewDenseGrid(3, 4, 2), matrix.NewDenseGrid(5, 3, 2), Config{}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestChunkAccounting(t *testing.T) {
+	if got := chunksOf(10, 10, 5); got != 4 {
+		t.Errorf("chunksOf(10,10,5) = %d, want 4", got)
+	}
+	if got := chunksOf(11, 10, 5); got != 6 {
+		t.Errorf("chunksOf(11,10,5) = %d, want 6", got)
+	}
+	cfg := Config{}.withDefaults(7)
+	if cfg.ChunkSize != 7 || cfg.ChunkOverheadSec <= 0 || cfg.RedistBandwidthBytesPerSec <= 0 {
+		t.Errorf("defaults incomplete: %+v", cfg)
+	}
+}

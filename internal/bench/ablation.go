@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dmac/internal/apps"
+	"dmac/internal/engine"
+	"dmac/internal/sched"
+	"dmac/internal/workload"
+)
+
+// AblationRow is one planner configuration of the heuristic ablation study
+// (an extension beyond the paper's own evaluation: it quantifies each design
+// choice DESIGN.md calls out).
+type AblationRow struct {
+	Config    string
+	CommBytes int64
+	ModelSec  float64
+}
+
+// AblationGNMF runs GNMF under the full DMac planner and with each heuristic
+// disabled, plus the SystemML-S baseline, and reports total communication.
+func AblationGNMF(iterations int) ([]AblationRow, error) {
+	if iterations <= 0 {
+		iterations = 3
+	}
+	movies, users, _ := workload.Netflix.Scaled(40, 64)
+	bs := sched.ChooseBlockSize(movies, users, DefaultLocalParallelism, DefaultWorkers)
+	configs := []struct {
+		name                         string
+		planner                      engine.Planner
+		noPullUp, noReassign, noCPMM bool
+	}{
+		{name: "DMac (full)", planner: engine.DMac},
+		{name: "DMac w/o Pull-Up Broadcast", planner: engine.DMac, noPullUp: true},
+		{name: "DMac w/o Re-assignment", planner: engine.DMac, noReassign: true},
+		{name: "DMac w/o CPMM", planner: engine.DMac, noCPMM: true},
+		{name: "SystemML-S", planner: engine.SystemMLS},
+	}
+	var rows []AblationRow
+	for _, cfg := range configs {
+		e := newEngine(cfg.planner, DefaultWorkers, bs)
+		e.SetAblation(cfg.noPullUp, cfg.noReassign, cfg.noCPMM)
+		_, _, v := workload.Netflix.Scaled(40, bs)
+		res, err := apps.GNMF(e, v, 24, iterations, 91)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %s: %w", cfg.name, err)
+		}
+		t := res.Total()
+		rows = append(rows, AblationRow{Config: cfg.name, CommBytes: t.CommBytes, ModelSec: t.ModelSeconds})
+	}
+	return rows, nil
+}
+
+// AblationCF runs the collaborative-filtering program (whose R %*% Rᵀ %*% R
+// chain exercises Re-assignment and the broadcast sharing of Pull-Up) under
+// the same configurations.
+func AblationCF() ([]AblationRow, error) {
+	movies, users, _ := workload.Netflix.Scaled(40, 64)
+	bs := sched.ChooseBlockSize(movies, users, DefaultLocalParallelism, DefaultWorkers)
+	configs := []struct {
+		name                         string
+		planner                      engine.Planner
+		noPullUp, noReassign, noCPMM bool
+	}{
+		{name: "DMac (full)", planner: engine.DMac},
+		{name: "DMac w/o Pull-Up Broadcast", planner: engine.DMac, noPullUp: true},
+		{name: "DMac w/o Re-assignment", planner: engine.DMac, noReassign: true},
+		{name: "DMac w/o CPMM", planner: engine.DMac, noCPMM: true},
+		{name: "SystemML-S", planner: engine.SystemMLS},
+	}
+	var rows []AblationRow
+	for _, cfg := range configs {
+		e := newEngine(cfg.planner, DefaultWorkers, bs)
+		e.SetAblation(cfg.noPullUp, cfg.noReassign, cfg.noCPMM)
+		_, _, r := workload.Netflix.Scaled(40, bs)
+		res, err := apps.CF(e, r)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation CF %s: %w", cfg.name, err)
+		}
+		t := res.Total()
+		rows = append(rows, AblationRow{Config: cfg.name, CommBytes: t.CommBytes, ModelSec: t.ModelSeconds})
+	}
+	return rows, nil
+}
+
+// WriteAblation prints an ablation table.
+func WriteAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	base := rows[0].CommBytes
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		rel := "1.00x"
+		if base > 0 {
+			rel = fmt.Sprintf("%.2fx", float64(r.CommBytes)/float64(base))
+		}
+		table[i] = []string{
+			r.Config,
+			fmt.Sprintf("%.4f", gb(r.CommBytes)),
+			rel,
+			fmt.Sprintf("%.3f", r.ModelSec),
+		}
+	}
+	writeTable(w, []string{"configuration", "comm GB", "vs full", "model s"}, table)
+}

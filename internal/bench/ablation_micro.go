@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+
+	"dmac/internal/engine"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+	"dmac/internal/workload"
+)
+
+// AblationMicro runs two micro-programs constructed to trigger each planner
+// heuristic, and reports the communication with the heuristic on and off:
+//
+//   - pull-up: matrix A is first consumed by a CPMM (which partitions it
+//     column-wise) and then by an RMM1 (which broadcasts it); Pull-Up
+//     Broadcast (Heuristic 1) rewrites the earlier partition into the shared
+//     broadcast plus a local extract, saving |A|. Both consumers are
+//     multiplications, so the mul-first decomposition rule cannot already
+//     reorder the broadcast ahead (for cell-wise consumers it does, which is
+//     exactly why Section 4.2.3 schedules multiplications first);
+//   - re-assign: a CPMM product is consumed by a cell-wise operator whose
+//     other operand is cached column-partitioned; Re-assignment
+//     (Heuristic 2) pins the flexible CPMM output to Col so the consumer
+//     reads both operands for free.
+func AblationMicro() (pullUp, reassign []AblationRow, err error) {
+	const bs = 64
+
+	// Pull-up scenario: AY = A %*% Y (CPMM: A(c) partition),
+	// AG = A %*% G (RMM1: A broadcast; G is wide and cached (c)).
+	for _, disable := range []bool{false, true} {
+		m, err := runMicro(disable, false,
+			func(e *engine.Engine) error {
+				grids := map[string]*matrix.Grid{
+					"A": workload.DenseRandom(1, 200, 600, bs),
+					"Y": workload.DenseRandom(2, 600, 4, bs),
+					"G": workload.DenseRandom(3, 600, 2000, bs),
+					"U": workload.SparseUniform(4, 200, 600, bs, 0.01),
+				}
+				for name, g := range grids {
+					if err := e.Bind(name, g); err != nil {
+						return err
+					}
+				}
+				// Warm-up caches G(c) (RMM1 right operand of U %*% G), so
+				// only A's traffic varies afterwards.
+				warm := expr.NewProgram()
+				wg := warm.Var("G", 600, 2000, 1)
+				wu := warm.Var("U", 200, 600, 0.01)
+				warm.Assign("X", warm.Mul(wu, wg))
+				_, err := e.Run(warm, nil)
+				return err
+			},
+			func(p *expr.Program) {
+				a := p.Load("A", 200, 600, 1)
+				y := p.Var("Y", 600, 4, 1)
+				g := p.Var("G", 600, 2000, 1)
+				p.Assign("AY", p.Mul(a, y))
+				p.Assign("AG", p.Mul(a, g))
+			})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: ablation micro pull-up: %w", err)
+		}
+		name := "DMac (full)"
+		if disable {
+			name = "DMac w/o Pull-Up Broadcast"
+		}
+		pullUp = append(pullUp, AblationRow{Config: name, CommBytes: m.CommBytes, ModelSec: m.ModelSeconds})
+	}
+
+	// Re-assignment scenario: D = (A %*% B) + C where the multiplication
+	// runs as CPMM (tall-thin output) and C is cached column-partitioned;
+	// only with Re-assignment can the cell-wise addition read both operands
+	// for free.
+	for _, disable := range []bool{false, true} {
+		m, err := runMicro(false, disable,
+			func(e *engine.Engine) error {
+				grids := map[string]*matrix.Grid{
+					"A": workload.SparseUniform(11, 500, 8000, bs, 0.01),
+					"B": workload.DenseRandom(12, 8000, 8, bs),
+					"C": workload.DenseRandom(13, 500, 8, bs),
+					"U": workload.SparseUniform(14, 500, 500, bs, 0.004),
+				}
+				for name, g := range grids {
+					if err := e.Bind(name, g); err != nil {
+						return err
+					}
+				}
+				// Warm-up caches A(c) and B(r) (CPMM operands) and C(c)
+				// (RMM1 right operand of U %*% C; U is small enough that
+				// broadcasting it clearly beats broadcasting C).
+				warm := expr.NewProgram()
+				wa := warm.Var("A", 500, 8000, 0.01)
+				wb := warm.Var("B", 8000, 8, 1)
+				wc := warm.Var("C", 500, 8, 1)
+				wu := warm.Var("U", 500, 500, 0.004)
+				warm.Assign("AB0", warm.Mul(wa, wb))
+				warm.Assign("X", warm.Mul(wu, wc))
+				_, err := e.Run(warm, nil)
+				return err
+			},
+			func(p *expr.Program) {
+				a := p.Var("A", 500, 8000, 0.01)
+				b := p.Var("B", 8000, 8, 1)
+				c := p.Var("C", 500, 8, 1)
+				p.Assign("D", p.Add(p.Mul(a, b), c))
+			})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: ablation micro re-assign: %w", err)
+		}
+		name := "DMac (full)"
+		if disable {
+			name = "DMac w/o Re-assignment"
+		}
+		reassign = append(reassign, AblationRow{Config: name, CommBytes: m.CommBytes, ModelSec: m.ModelSeconds})
+	}
+	return pullUp, reassign, nil
+}
+
+// runMicro sets up an engine with the given ablation flags, runs the warm-up
+// via setup, then measures the program built by build.
+func runMicro(disablePullUp, disableReassign bool, setup func(*engine.Engine) error, build func(*expr.Program)) (engine.Metrics, error) {
+	e := newEngine(engine.DMac, DefaultWorkers, 64)
+	e.SetAblation(disablePullUp, disableReassign, false)
+	if err := setup(e); err != nil {
+		return engine.Metrics{}, err
+	}
+	p := expr.NewProgram()
+	build(p)
+	return e.Run(p, nil)
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The tests here assert the qualitative shapes the paper reports for each
+// experiment: who wins, monotonicity, and rough factors. Scales are kept
+// small so the suite stays fast; cmd/dmacbench runs the full-size versions.
+
+func TestFig6Shapes(t *testing.T) {
+	res, err := Fig6(4, 60, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.DMac) - 1
+	// DMac beats SystemML-S on accumulated time and communication.
+	if res.DMac[last].AccTimeSec >= res.SystemMLS[last].AccTimeSec {
+		t.Errorf("DMac time %.3f >= SystemML-S %.3f", res.DMac[last].AccTimeSec, res.SystemMLS[last].AccTimeSec)
+	}
+	if res.DMac[last].AccCommGB >= res.SystemMLS[last].AccCommGB/2 {
+		t.Errorf("DMac comm %.4f not well below SystemML-S %.4f", res.DMac[last].AccCommGB, res.SystemMLS[last].AccCommGB)
+	}
+	// Both distributed engines beat the single-machine reference.
+	if res.DMac[last].AccTimeSec >= res.R[last].AccTimeSec {
+		t.Errorf("DMac %.3f not faster than R %.3f", res.DMac[last].AccTimeSec, res.R[last].AccTimeSec)
+	}
+	// Accumulated series are non-decreasing.
+	for i := 1; i < len(res.DMac); i++ {
+		if res.DMac[i].AccTimeSec < res.DMac[i-1].AccTimeSec || res.DMac[i].AccCommGB < res.DMac[i-1].AccCommGB {
+			t.Fatal("accumulated series decreased")
+		}
+	}
+	// Communication share: DMac far below SystemML-S (paper: 6% vs 44%).
+	if res.DMacCommShare >= res.SysCommShare {
+		t.Errorf("comm share DMac %.2f >= SystemML-S %.2f", res.DMacCommShare, res.SysCommShare)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("report missing title")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	scales := map[string]int{
+		"soc-pokec":   16000,
+		"cit-Patents": 16000,
+		"LiveJournal": 16000,
+		"Wikipedia":   48000,
+	}
+	rows, err := Fig7(scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.BufferPeak <= r.InPlacePeak {
+			t.Errorf("%s: Buffer peak %d not above In-Place %d", r.Graph, r.BufferPeak, r.InPlacePeak)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig7(&buf, rows)
+	if !strings.Contains(buf.String(), "In-Place") {
+		t.Error("report missing strategy name")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	points, threshold, err := Fig8("soc-pokec", 16000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threshold <= 0 {
+		t.Fatal("no Eq.3 threshold")
+	}
+	if len(points) < 4 {
+		t.Fatalf("only %d points", len(points))
+	}
+	// Memory decreases (weakly) as the block size grows (Eq. 2).
+	byBS := make([]Fig8Point, len(points))
+	copy(byBS, points)
+	sort.Slice(byBS, func(i, j int) bool { return byBS[i].BlockSize < byBS[j].BlockSize })
+	for i := 1; i < len(byBS); i++ {
+		if byBS[i].PeakMem > byBS[i-1].PeakMem {
+			t.Errorf("peak memory grew from bs=%d (%d) to bs=%d (%d)",
+				byBS[i-1].BlockSize, byBS[i-1].PeakMem, byBS[i].BlockSize, byBS[i].PeakMem)
+		}
+	}
+	// Model time is U-shaped: the largest block size is slower than the
+	// best, and the smallest carries task overhead above the best.
+	best := byBS[0].ModelSec
+	for _, p := range byBS {
+		if p.ModelSec < best {
+			best = p.ModelSec
+		}
+	}
+	if byBS[len(byBS)-1].ModelSec <= best {
+		t.Error("largest block size should lose parallelism and slow down")
+	}
+	if byBS[0].ModelSec <= best {
+		t.Error("smallest block size should pay task overhead")
+	}
+	var buf bytes.Buffer
+	WriteFig8(&buf, "soc-pokec", points, threshold)
+	if !strings.Contains(buf.String(), "threshold") {
+		t.Error("report missing threshold")
+	}
+}
+
+func TestFig9aShapes(t *testing.T) {
+	scales := map[string]int{"soc-pokec": 8000, "LiveJournal": 8000}
+	rows, err := Fig9a(scales, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DMacSec >= r.SysSec {
+			t.Errorf("%s: DMac %.4f not faster than SystemML-S %.4f", r.Graph, r.DMacSec, r.SysSec)
+		}
+		if r.DMacComm >= r.SysCom {
+			t.Errorf("%s: DMac comm %d not below SystemML-S %d", r.Graph, r.DMacComm, r.SysCom)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig9a(&buf, rows)
+	if !strings.Contains(buf.String(), "PageRank") {
+		t.Error("report missing title")
+	}
+}
+
+func TestFig9bShapes(t *testing.T) {
+	rows, err := Fig9b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (LR, CF, SVD)", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormalizedSys <= 1 {
+			t.Errorf("%s: SystemML-S ratio %.2f should exceed 1", r.App, r.NormalizedSys)
+		}
+	}
+	// LR shows the largest gap in the paper (>7x); require it to be the
+	// largest here too.
+	if !(rows[0].App == "LR" && rows[0].NormalizedSys >= rows[1].NormalizedSys) {
+		t.Logf("LR ratio %.2f, CF ratio %.2f (paper has LR largest)", rows[0].NormalizedSys, rows[1].NormalizedSys)
+	}
+	var buf bytes.Buffer
+	WriteFig9b(&buf, rows)
+	if !strings.Contains(buf.String(), "SVD") {
+		t.Error("report missing app")
+	}
+}
+
+func TestFig10abShapes(t *testing.T) {
+	gnmf, linreg, err := Fig10ab([]int{5000, 10000, 20000}, 500, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]Fig10Point{gnmf, linreg} {
+		if len(series) != 3 {
+			t.Fatalf("series length %d", len(series))
+		}
+		for i, p := range series {
+			if p.DMacSec >= p.SysSec {
+				t.Errorf("point %d: DMac %.4f not faster", i, p.DMacSec)
+			}
+		}
+		// The gap grows with the input (paper: "the gap between
+		// SystemML-S and DMac also increases").
+		firstGap := series[0].SysSec - series[0].DMacSec
+		lastGap := series[len(series)-1].SysSec - series[len(series)-1].DMacSec
+		if lastGap <= firstGap {
+			t.Errorf("gap did not grow: %.4f -> %.4f", firstGap, lastGap)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig10(&buf, "Figure 10(a)", "nnz (M)", gnmf)
+	if !strings.Contains(buf.String(), "DMac") {
+		t.Error("report missing engine")
+	}
+}
+
+func TestFig10cdShapes(t *testing.T) {
+	gnmf, linreg, err := Fig10cd([]int{4, 12, 20}, 20000, 500, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range [][]Fig10Point{gnmf, linreg} {
+		// DMac gets faster with more workers.
+		if series[len(series)-1].DMacSec >= series[0].DMacSec {
+			t.Errorf("DMac did not speed up with workers: %.4f -> %.4f",
+				series[0].DMacSec, series[len(series)-1].DMacSec)
+		}
+		for _, p := range series {
+			if p.DMacSec >= p.SysSec {
+				t.Errorf("workers=%v: DMac %.4f not faster than %.4f", p.X, p.DMacSec, p.SysSec)
+			}
+		}
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	rows, err := Table4(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(name string) Table4Row {
+		for _, r := range rows {
+			if r.System == name {
+				return r
+			}
+		}
+		t.Fatalf("missing system %s", name)
+		return Table4Row{}
+	}
+	sl, sd, sm, dm := get("ScaLAPACK"), get("SciDB"), get("SystemML-S"), get("DMac")
+	// ScaLAPACK is sparsity-oblivious: sparse within 10% of dense.
+	if d := sl.SparseSec / sl.DenseSec; d < 0.9 || d > 1.1 {
+		t.Errorf("ScaLAPACK sparse/dense = %.2f, want ~1", d)
+	}
+	// SciDB is the slowest everywhere.
+	for _, other := range []Table4Row{sl, sm, dm} {
+		if sd.SparseSec <= other.SparseSec || sd.DenseSec <= other.DenseSec {
+			t.Errorf("SciDB should be slowest (vs %s)", other.System)
+		}
+	}
+	// DMac and SystemML-S exploit sparsity: much faster than ScaLAPACK on
+	// sparse input.
+	if dm.SparseSec*2 >= sl.SparseSec {
+		t.Errorf("DMac sparse %.3f not well below ScaLAPACK %.3f", dm.SparseSec, sl.SparseSec)
+	}
+	// On a single multiplication the DMac vs SystemML-S gap is small
+	// (Section 6.6); both within 3x of each other.
+	if r := sm.SparseSec / dm.SparseSec; r > 3 {
+		t.Errorf("single-op gap too large: %.2f", r)
+	}
+	var buf bytes.Buffer
+	WriteTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "MM-Sparse") {
+		t.Error("report missing column")
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	var buf bytes.Buffer
+	Table3(&buf)
+	out := buf.String()
+	for _, name := range []string{"soc-pokec", "cit-Patents", "LiveJournal", "Wikipedia"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 3 report missing %s", name)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	gnmf, err := AblationGNMF(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gnmf) != 5 {
+		t.Fatalf("rows = %d", len(gnmf))
+	}
+	full := gnmf[0]
+	for _, r := range gnmf[1:] {
+		if r.CommBytes < full.CommBytes {
+			t.Errorf("%s communicates less (%d) than the full planner (%d)", r.Config, r.CommBytes, full.CommBytes)
+		}
+	}
+	// The baseline is the worst configuration.
+	if gnmf[4].CommBytes <= full.CommBytes {
+		t.Error("SystemML-S should be the upper bound")
+	}
+	cf, err := AblationCF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf[0].CommBytes > cf[4].CommBytes {
+		t.Error("CF: full DMac should beat the baseline")
+	}
+	var buf bytes.Buffer
+	WriteAblation(&buf, "ablation", gnmf)
+	if !strings.Contains(buf.String(), "Pull-Up") {
+		t.Error("report missing configuration")
+	}
+}
+
+func TestAblationMicroShowsHeuristicSavings(t *testing.T) {
+	pullUp, reassign, err := AblationMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pullUp) != 2 || len(reassign) != 2 {
+		t.Fatalf("rows: %d / %d", len(pullUp), len(reassign))
+	}
+	// Disabling each heuristic must strictly increase communication on its
+	// trigger workload.
+	if pullUp[0].CommBytes >= pullUp[1].CommBytes {
+		t.Errorf("pull-up: full %d not below disabled %d", pullUp[0].CommBytes, pullUp[1].CommBytes)
+	}
+	if reassign[0].CommBytes >= reassign[1].CommBytes {
+		t.Errorf("re-assign: full %d not below disabled %d", reassign[0].CommBytes, reassign[1].CommBytes)
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dmac/internal/apps"
+	"dmac/internal/engine"
+	"dmac/internal/sched"
+	"dmac/internal/workload"
+)
+
+// Fig10Point is one x-position of a Figure 10 plot: per-iteration time of
+// both engines at one data size or worker count.
+type Fig10Point struct {
+	X               float64 // millions of non-zeros (a,b) or workers (c,d)
+	DMacSec, SysSec float64
+}
+
+// fig10K is the GNMF factor size used in the scalability study.
+const fig10K = 16
+
+// runScaling measures the average per-iteration modelled time of GNMF and
+// LinReg for one (rows, cols, workers) configuration.
+func runScaling(rows, cols, nnzPerRow, workers, iters int) (gnmf, linreg Fig10Point, err error) {
+	sparsity := float64(nnzPerRow) / float64(cols)
+	bs := sched.ChooseBlockSize(rows, cols, DefaultLocalParallelism, workers)
+	x := float64(rows*nnzPerRow) / 1e6
+	gnmf = Fig10Point{X: x}
+	linreg = Fig10Point{X: x}
+	for _, planner := range []engine.Planner{engine.DMac, engine.SystemMLS} {
+		// GNMF.
+		e := newEngine(planner, workers, bs)
+		v := workload.SparseUniform(71, rows, cols, bs, sparsity)
+		res, err := apps.GNMF(e, v, fig10K, iters, 72)
+		if err != nil {
+			return gnmf, linreg, fmt.Errorf("bench: fig10 gnmf: %w", err)
+		}
+		gsec := perIterSteadyState(res)
+		// Linear regression on the same V.
+		e2 := newEngine(planner, workers, bs)
+		v2 := workload.SparseUniform(71, rows, cols, bs, sparsity)
+		y := workload.DenseRandom(73, rows, 1, bs)
+		res2, err := apps.LinReg(e2, v2, y, 1e-6, iters, 74)
+		if err != nil {
+			return gnmf, linreg, fmt.Errorf("bench: fig10 linreg: %w", err)
+		}
+		lsec := perIterSteadyState(res2)
+		if planner == engine.DMac {
+			gnmf.DMacSec, linreg.DMacSec = gsec, lsec
+		} else {
+			gnmf.SysSec, linreg.SysSec = gsec, lsec
+		}
+	}
+	return gnmf, linreg, nil
+}
+
+// perIterSteadyState averages the modelled time of all iterations after the
+// first (which pays the one-time input partitioning in both systems).
+func perIterSteadyState(r *apps.Result) float64 {
+	if len(r.PerIteration) <= 1 {
+		return r.Total().ModelSeconds
+	}
+	var s float64
+	for _, m := range r.PerIteration[1:] {
+		s += m.ModelSeconds
+	}
+	return s / float64(len(r.PerIteration)-1)
+}
+
+// Fig10ab reproduces Figures 10(a) and 10(b): per-iteration time of GNMF and
+// LinReg as the number of non-zeros in V grows (columns fixed, rows swept —
+// the paper's generator recipe).
+func Fig10ab(rowsList []int, cols, nnzPerRow, iters int) (gnmf, linreg []Fig10Point, err error) {
+	if len(rowsList) == 0 {
+		rowsList = []int{12500, 25000, 50000, 100000}
+	}
+	if cols <= 0 {
+		cols = 1000
+	}
+	if nnzPerRow <= 0 {
+		nnzPerRow = 10
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	for _, rows := range rowsList {
+		g, l, err := runScaling(rows, cols, nnzPerRow, DefaultWorkers, iters)
+		if err != nil {
+			return nil, nil, err
+		}
+		gnmf = append(gnmf, g)
+		linreg = append(linreg, l)
+	}
+	return gnmf, linreg, nil
+}
+
+// Fig10cd reproduces Figures 10(c) and 10(d): per-iteration time of GNMF and
+// LinReg as the number of workers grows from 4 to 24 on a fixed dataset.
+func Fig10cd(workersList []int, rows, cols, nnzPerRow, iters int) (gnmf, linreg []Fig10Point, err error) {
+	if len(workersList) == 0 {
+		workersList = []int{4, 8, 12, 16, 20, 24}
+	}
+	if rows <= 0 {
+		rows = 50000
+	}
+	if cols <= 0 {
+		cols = 1000
+	}
+	if nnzPerRow <= 0 {
+		nnzPerRow = 10
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	for _, workers := range workersList {
+		g, l, err := runScaling(rows, cols, nnzPerRow, workers, iters)
+		if err != nil {
+			return nil, nil, err
+		}
+		g.X, l.X = float64(workers), float64(workers)
+		gnmf = append(gnmf, g)
+		linreg = append(linreg, l)
+	}
+	return gnmf, linreg, nil
+}
+
+// WriteFig10 prints one Figure 10 panel.
+func WriteFig10(w io.Writer, title, xLabel string, points []Fig10Point) {
+	fmt.Fprintln(w, title)
+	rows := make([][]string, len(points))
+	for i, p := range points {
+		rows[i] = []string{
+			fmt.Sprintf("%.1f", p.X),
+			fmt.Sprintf("%.4f", p.DMacSec),
+			fmt.Sprintf("%.4f", p.SysSec),
+			fmt.Sprintf("%.1fx", p.SysSec/p.DMacSec),
+		}
+	}
+	writeTable(w, []string{xLabel, "DMac s", "SystemML-S s", "gap"}, rows)
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dmac/internal/apps"
+	"dmac/internal/engine"
+	"dmac/internal/sched"
+	"dmac/internal/workload"
+)
+
+// Fig9aRow is one dataset pair of Figure 9(a): PageRank per-iteration time.
+type Fig9aRow struct {
+	Graph            string
+	Nodes, Edges     int
+	DMacSec, SysSec  float64
+	DMacComm, SysCom int64
+}
+
+// Fig9aScales are the default scale denominators per graph.
+var Fig9aScales = map[string]int{
+	"soc-pokec":   1000,
+	"cit-Patents": 1000,
+	"LiveJournal": 2000,
+	"Wikipedia":   8000,
+}
+
+// Fig9a reproduces Figure 9(a): average per-iteration PageRank time on the
+// four graph datasets, DMac vs SystemML-S. The average skips the first
+// iteration (which pays the initial partitioning in both systems), matching
+// the paper's steady-state reading.
+func Fig9a(scales map[string]int, iterations int) ([]Fig9aRow, error) {
+	if scales == nil {
+		scales = Fig9aScales
+	}
+	if iterations < 3 {
+		iterations = 3
+	}
+	var rows []Fig9aRow
+	for _, spec := range workload.Graphs {
+		denom, ok := scales[spec.Name]
+		if !ok {
+			continue
+		}
+		nodes := spec.ScaledNodes(denom)
+		bs := sched.ChooseBlockSize(nodes, nodes, DefaultLocalParallelism, DefaultWorkers)
+		row := Fig9aRow{Graph: spec.Name}
+		for _, planner := range []engine.Planner{engine.DMac, engine.SystemMLS} {
+			gen := spec.Generate(denom, bs)
+			row.Nodes, row.Edges = gen.Nodes, gen.Edges
+			e := newEngine(planner, DefaultWorkers, bs)
+			run, err := apps.PageRank(e, gen.Adjacency, iterations, 42)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig9a %s %s: %w", spec.Name, planner, err)
+			}
+			var sec float64
+			var comm int64
+			for _, m := range run.PerIteration[1:] {
+				sec += m.ModelSeconds
+				comm += m.CommBytes
+			}
+			n := float64(len(run.PerIteration) - 1)
+			if planner == engine.DMac {
+				row.DMacSec, row.DMacComm = sec/n, comm/int64(n)
+			} else {
+				row.SysSec, row.SysCom = sec/n, comm/int64(n)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteFig9a prints Figure 9(a).
+func WriteFig9a(w io.Writer, rows []Fig9aRow) {
+	fmt.Fprintln(w, "Figure 9(a): PageRank per-iteration time (modelled seconds, steady state)")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.Graph,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Edges),
+			fmt.Sprintf("%.4f", r.DMacSec),
+			fmt.Sprintf("%.4f", r.SysSec),
+			fmt.Sprintf("%.1fx", r.SysSec/r.DMacSec),
+		}
+	}
+	writeTable(w, []string{"graph", "nodes", "edges", "DMac s", "SystemML-S s", "speedup"}, table)
+}
+
+// Fig9bRow is one application bar pair of Figure 9(b): execution time
+// normalized to DMac = 1.
+type Fig9bRow struct {
+	App           string
+	DMacSec       float64
+	SysSec        float64
+	NormalizedSys float64
+}
+
+// Fig9b reproduces Figure 9(b): Linear Regression on a synthetic sparse
+// matrix, Collaborative Filtering and SVD on Netflix-shaped data, execution
+// time normalized to DMac.
+func Fig9b() ([]Fig9bRow, error) {
+	var rows []Fig9bRow
+	run := func(app string, f func(e *engine.Engine) (*apps.Result, error), bs int) error {
+		row := Fig9bRow{App: app, DMacSec: -1}
+		for _, planner := range []engine.Planner{engine.DMac, engine.SystemMLS} {
+			e := newEngine(planner, DefaultWorkers, bs)
+			res, err := f(e)
+			if err != nil {
+				return fmt.Errorf("bench: fig9b %s %s: %w", app, planner, err)
+			}
+			sec := res.Total().ModelSeconds
+			if planner == engine.DMac {
+				row.DMacSec = sec
+			} else {
+				row.SysSec = sec
+			}
+		}
+		row.NormalizedSys = row.SysSec / row.DMacSec
+		rows = append(rows, row)
+		return nil
+	}
+	// Linear regression: the paper's V is 1e8 x 1e5 with 1e9 non-zeros
+	// (10 per row); the scaled stand-in keeps 10 non-zeros per row.
+	const lrRows, lrCols = 20000, 500
+	bsLR := sched.ChooseBlockSize(lrRows, lrCols, DefaultLocalParallelism, DefaultWorkers)
+	if err := run("LR", func(e *engine.Engine) (*apps.Result, error) {
+		v := workload.SparseUniform(31, lrRows, lrCols, bsLR, 10.0/float64(lrCols))
+		y := workload.DenseRandom(32, lrRows, 1, bsLR)
+		return apps.LinReg(e, v, y, 1e-6, 5, 33)
+	}, bsLR); err != nil {
+		return nil, err
+	}
+	// Collaborative filtering on Netflix-shaped ratings.
+	movies, users, _ := workload.Netflix.Scaled(40, 64)
+	bsCF := sched.ChooseBlockSize(movies, users, DefaultLocalParallelism, DefaultWorkers)
+	if err := run("CF", func(e *engine.Engine) (*apps.Result, error) {
+		_, _, r := workload.Netflix.Scaled(40, bsCF)
+		return apps.CF(e, r)
+	}, bsCF); err != nil {
+		return nil, err
+	}
+	// SVD (Lanczos) on the same shape.
+	if err := run("SVD", func(e *engine.Engine) (*apps.Result, error) {
+		_, _, v := workload.Netflix.Scaled(40, bsCF)
+		res, _, err := apps.SVD(e, v, 16, 44)
+		return res, err
+	}, bsCF); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// WriteFig9b prints Figure 9(b).
+func WriteFig9b(w io.Writer, rows []Fig9bRow) {
+	fmt.Fprintln(w, "Figure 9(b): LR / CF / SVD execution time ratio (DMac = 1)")
+	table := make([][]string, len(rows))
+	for i, r := range rows {
+		table[i] = []string{
+			r.App,
+			"1.00",
+			fmt.Sprintf("%.2f", r.NormalizedSys),
+			fmt.Sprintf("%.3fs", r.DMacSec),
+			fmt.Sprintf("%.3fs", r.SysSec),
+		}
+	}
+	writeTable(w, []string{"app", "DMac", "SystemML-S", "DMac abs", "SystemML-S abs"}, table)
+}

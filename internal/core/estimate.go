@@ -1,0 +1,42 @@
+// Package core implements the paper's primary contribution: the
+// dependency-oriented cost model (Section 4.1), the execution-plan
+// generation algorithm with its two heuristics (Section 4.2), the worst-case
+// matrix size estimation (Section 5.1), and the stage scheduler
+// (Section 5.2). It also contains the SystemML-S baseline planner used for
+// the controlled comparison of Section 6: the same strategy space and the
+// same runtime, but no matrix-dependency analysis.
+package core
+
+import (
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+)
+
+// sparseThreshold is the worst-case sparsity above which the estimator
+// assumes a matrix is materialized densely. With the CSC cost of ~12 bytes
+// per non-zero and 8 bytes per dense cell, the representations break even at
+// s = 2/3; the engine switches a bit earlier.
+const sparseThreshold = 0.5
+
+// SizeBytes is the worst-case size estimate |A| used by the cost model
+// (Section 5.1): the byte footprint of a rows x cols matrix with the given
+// worst-case sparsity, in whichever representation the engine would pick.
+func SizeBytes(rows, cols int, sparsity float64) int64 {
+	if sparsity < 0 {
+		sparsity = 0
+	}
+	if sparsity > 1 {
+		sparsity = 1
+	}
+	if sparsity < sparseThreshold {
+		nnz := int64(sparsity * float64(rows) * float64(cols))
+		return matrix.SparseMemBytes(cols, int(nnz))
+	}
+	return matrix.DenseMemBytes(rows, cols)
+}
+
+// NodeSize returns |A| for a program node's output using its worst-case
+// shape and sparsity.
+func NodeSize(n *expr.Node) int64 {
+	return SizeBytes(n.Rows, n.Cols, n.Sparsity)
+}

@@ -1,0 +1,201 @@
+// Package dist is DMac's distributed runtime substrate. The paper runs on a
+// Spark cluster; this package provides the equivalent in-process runtime: a
+// cluster of N logical workers whose local computation runs in parallel on
+// the block executor, and whose network is an instrumented accounting layer
+// that records every byte a shuffle or broadcast would move. Execution time
+// is modelled as local compute (estimated from the arithmetic actually
+// performed, divided across workers and threads) plus network transfer time
+// (bytes over a configured bandwidth, plus a per-shuffle latency). The model
+// is deterministic, which is what the reproduction of the paper's figures
+// needs; wall-clock time of the real computation is measured separately by
+// the engine.
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"dmac/internal/sched"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Workers is the number of cluster nodes (N / K in the paper).
+	Workers int
+	// LocalParallelism is the number of threads per worker (L).
+	LocalParallelism int
+	// BandwidthBytesPerSec is the aggregate network bandwidth used to turn
+	// shuffled bytes into modelled time. Defaults to 1 GiB/s.
+	BandwidthBytesPerSec float64
+	// ShuffleLatencySec is the fixed cost per communication operation
+	// (job/stage setup in Spark terms). Defaults to 50 ms.
+	ShuffleLatencySec float64
+	// FlopsPerSecPerThread is the modelled arithmetic throughput of one
+	// worker thread. Defaults to 2 GFLOP/s.
+	FlopsPerSecPerThread float64
+	// Stragglers injects slow workers: worker index -> slowdown factor
+	// (>= 1). Because stages are un-interleaved (Section 5.2), a stage
+	// finishes only when its slowest worker does, so the modelled compute
+	// time of every stage is multiplied by the largest slowdown. Used by
+	// the failure-injection tests and the straggler ablation.
+	Stragglers map[int]float64
+}
+
+// MaxSlowdown returns the largest injected slowdown (at least 1).
+func (c Config) MaxSlowdown() float64 {
+	m := 1.0
+	for w, s := range c.Stragglers {
+		if w >= 0 && w < c.Workers && s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.LocalParallelism <= 0 {
+		c.LocalParallelism = 8
+	}
+	if c.BandwidthBytesPerSec <= 0 {
+		c.BandwidthBytesPerSec = 1 << 30
+	}
+	if c.ShuffleLatencySec <= 0 {
+		c.ShuffleLatencySec = 0.05
+	}
+	if c.FlopsPerSecPerThread <= 0 {
+		c.FlopsPerSecPerThread = 2e9
+	}
+	return c
+}
+
+// ScaledConfig returns a configuration calibrated for reduced-scale
+// reproductions of the paper's experiments. Scaled-down datasets shrink
+// arithmetic much faster than fixed per-shuffle overheads, so with
+// production constants every run would be pure latency; a deliberately slow
+// modelled core (50 MFLOP/s per thread) and a 0.1 ms shuffle setup restore
+// the paper's full-scale compute/communication balance. Use the same
+// configuration for every engine being compared.
+func ScaledConfig(workers, localParallelism int) Config {
+	return Config{
+		Workers:              workers,
+		LocalParallelism:     localParallelism,
+		FlopsPerSecPerThread: 5e7,
+		BandwidthBytesPerSec: 1 << 30,
+		ShuffleLatencySec:    1e-4,
+	}
+}
+
+// Cluster is a simulated cluster: local parallel execution plus an
+// instrumented network.
+type Cluster struct {
+	cfg  Config
+	exec *sched.Executor
+	net  *NetStats
+}
+
+// NewCluster creates a cluster from the configuration (zero fields take
+// defaults).
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	return &Cluster{
+		cfg:  cfg,
+		exec: sched.NewExecutor(cfg.Workers*cfg.LocalParallelism, nil),
+		net:  &NetStats{},
+	}
+}
+
+// Workers returns the number of simulated workers.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// LocalParallelism returns the threads per worker.
+func (c *Cluster) LocalParallelism() int { return c.cfg.LocalParallelism }
+
+// Executor exposes the cluster-wide block executor (used by the engine for
+// local execution inside stages).
+func (c *Cluster) Executor() *sched.Executor { return c.exec }
+
+// Net returns the network statistics accumulated so far.
+func (c *Cluster) Net() *NetStats { return c.net }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// ModelTimeSec converts the accumulated statistics into modelled execution
+// seconds: compute spread over all threads plus network transfer and
+// per-shuffle latency.
+func (c *Cluster) ModelTimeSec() float64 {
+	s := c.net.Snapshot()
+	compute := s.FLOPs * c.cfg.MaxSlowdown() /
+		(float64(c.cfg.Workers*c.cfg.LocalParallelism) * c.cfg.FlopsPerSecPerThread)
+	network := float64(s.Bytes)/c.cfg.BandwidthBytesPerSec + float64(s.CommEvents)*c.cfg.ShuffleLatencySec
+	return compute + network
+}
+
+// NetStats accumulates communication and compute statistics. All methods
+// are safe for concurrent use.
+type NetStats struct {
+	mu         sync.Mutex
+	bytes      int64
+	commEvents int
+	flops      float64
+	stageBytes map[int]int64
+}
+
+// Snapshot is a point-in-time copy of the statistics.
+type Snapshot struct {
+	// Bytes is the total data moved across workers.
+	Bytes int64
+	// CommEvents counts shuffle/broadcast operations.
+	CommEvents int
+	// FLOPs is the estimated arithmetic performed.
+	FLOPs float64
+	// StageBytes maps stage index to bytes moved into that stage.
+	StageBytes map[int]int64
+}
+
+// AddComm records a communication of the given bytes feeding the given
+// stage.
+func (n *NetStats) AddComm(stage int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bytes += bytes
+	n.commEvents++
+	if n.stageBytes == nil {
+		n.stageBytes = make(map[int]int64)
+	}
+	n.stageBytes[stage] += bytes
+}
+
+// AddFLOPs records estimated arithmetic work.
+func (n *NetStats) AddFLOPs(f float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flops += f
+}
+
+// Snapshot returns a copy of the accumulated statistics.
+func (n *NetStats) Snapshot() Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sb := make(map[int]int64, len(n.stageBytes))
+	for k, v := range n.stageBytes {
+		sb[k] = v
+	}
+	return Snapshot{Bytes: n.bytes, CommEvents: n.commEvents, FLOPs: n.flops, StageBytes: sb}
+}
+
+// Reset clears the statistics.
+func (n *NetStats) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bytes, n.commEvents, n.flops, n.stageBytes = 0, 0, 0, nil
+}
+
+// String summarizes the statistics.
+func (n *NetStats) String() string {
+	s := n.Snapshot()
+	return fmt.Sprintf("net: %d bytes in %d comm ops, %.3g flops", s.Bytes, s.CommEvents, s.FLOPs)
+}

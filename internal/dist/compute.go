@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"dmac/internal/dep"
+	"dmac/internal/matrix"
+	"dmac/internal/sched"
+)
+
+// MulStrategy selects the distributed multiplication strategy of Figure 2.
+type MulStrategy int
+
+// The three distributed multiplication strategies.
+const (
+	// RMM1: A(b) x B(c) -> C(c); each worker multiplies the full replica of
+	// A against its column slice of B. No communication during execution.
+	RMM1 MulStrategy = iota
+	// RMM2: A(r) x B(b) -> C(r).
+	RMM2
+	// CPMM: A(c) x B(r); worker w computes the partial product of its
+	// column slice of A with its row slice of B, and the partials are
+	// shuffled and summed into the requested output scheme (cost N x |C|).
+	CPMM
+)
+
+// String names the strategy.
+func (s MulStrategy) String() string {
+	switch s {
+	case RMM1:
+		return "RMM1"
+	case RMM2:
+		return "RMM2"
+	case CPMM:
+		return "CPMM"
+	default:
+		return fmt.Sprintf("MulStrategy(%d)", int(s))
+	}
+}
+
+// mulFLOPs estimates the arithmetic of a product from the operands' actual
+// non-zero structure.
+func mulFLOPs(a, b *matrix.Grid) float64 {
+	an, bn := float64(a.NNZ()), float64(b.NNZ())
+	inner := float64(a.Cols())
+	if inner == 0 {
+		return 0
+	}
+	// 2 multiply-adds per (nnz_A, matching row of B) pair; for sparse B the
+	// matching density is nnz_B / inner per column of A.
+	perRowB := bn / inner
+	return 2 * an * math.Max(perRowB, 1)
+}
+
+// Multiply runs a distributed multiplication with the given strategy. The
+// operand schemes must match the strategy's requirements; the output scheme
+// for CPMM is outScheme (Row or Col), ignored for RMM1/RMM2.
+func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep.Scheme, stage int) (*DistMatrix, error) {
+	var want [2]dep.Scheme
+	switch strategy {
+	case RMM1:
+		want = [2]dep.Scheme{dep.Broadcast, dep.Col}
+	case RMM2:
+		want = [2]dep.Scheme{dep.Row, dep.Broadcast}
+	case CPMM:
+		want = [2]dep.Scheme{dep.Col, dep.Row}
+	default:
+		return nil, fmt.Errorf("dist: unknown multiplication strategy %d", strategy)
+	}
+	if a.Scheme != want[0] || b.Scheme != want[1] {
+		return nil, fmt.Errorf("dist: %s requires schemes (%s,%s), got (%s,%s)",
+			strategy, want[0], want[1], a.Scheme, b.Scheme)
+	}
+	c.net.AddFLOPs(mulFLOPs(a.Grid, b.Grid))
+	grid, err := c.exec.Mul(a.Grid, b.Grid, sched.InPlace)
+	if err != nil {
+		return nil, err
+	}
+	out := &DistMatrix{Grid: grid}
+	switch strategy {
+	case RMM1:
+		out.Scheme = dep.Col
+	case RMM2:
+		out.Scheme = dep.Row
+	case CPMM:
+		if outScheme != dep.Row && outScheme != dep.Col {
+			return nil, fmt.Errorf("dist: CPMM output scheme %s", outScheme)
+		}
+		// Shuffled aggregation of the per-worker partial products.
+		c.net.AddComm(stage, int64(c.cfg.Workers)*out.Bytes())
+		out.Scheme = outScheme
+	}
+	return out, nil
+}
+
+// Cellwise runs a cell-wise binary operator on two identically-placed
+// matrices; no communication.
+func (c *Cluster) Cellwise(op matrix.BinOp, a, b *DistMatrix) (*DistMatrix, error) {
+	if a.Scheme != b.Scheme {
+		return nil, fmt.Errorf("dist: cellwise on mismatched schemes %s vs %s", a.Scheme, b.Scheme)
+	}
+	if !a.Scheme.Valid() {
+		return nil, fmt.Errorf("dist: cellwise on scheme %s", a.Scheme)
+	}
+	c.net.AddFLOPs(float64(a.Rows()) * float64(a.Cols()))
+	grid, err := c.exec.Cellwise(op, a.Grid, b.Grid)
+	if err != nil {
+		return nil, err
+	}
+	return &DistMatrix{Grid: grid, Scheme: a.Scheme}, nil
+}
+
+// Scalar runs a matrix-scalar operator; the scheme is preserved and no
+// communication happens.
+func (c *Cluster) Scalar(op matrix.ScalarOp, a *DistMatrix, v float64) (*DistMatrix, error) {
+	if !a.Scheme.Valid() {
+		return nil, fmt.Errorf("dist: scalar op on scheme %s", a.Scheme)
+	}
+	c.net.AddFLOPs(float64(a.Grid.NNZ()))
+	return &DistMatrix{Grid: c.exec.Scalar(op, a.Grid, v), Scheme: a.Scheme}, nil
+}
+
+// Apply evaluates a named element-wise function locally; the scheme is
+// preserved and no communication happens.
+func (c *Cluster) Apply(f matrix.UFunc, a *DistMatrix) (*DistMatrix, error) {
+	if !a.Scheme.Valid() {
+		return nil, fmt.Errorf("dist: ufunc on scheme %s", a.Scheme)
+	}
+	c.net.AddFLOPs(4 * float64(a.Rows()) * float64(a.Cols())) // transcendental-ish cost
+	return &DistMatrix{Grid: c.exec.Apply(f, a.Grid), Scheme: a.Scheme}, nil
+}
+
+// Sum computes the sum of all cells: local partials plus a tiny driver
+// collect (8 bytes per worker).
+func (c *Cluster) Sum(a *DistMatrix, stage int) float64 {
+	c.net.AddFLOPs(float64(a.Grid.NNZ()))
+	c.net.AddComm(stage, 8*int64(c.cfg.Workers))
+	return matrix.SumGrid(a.Grid)
+}
+
+// Norm2 computes the Frobenius norm with the same collect cost as Sum.
+func (c *Cluster) Norm2(a *DistMatrix, stage int) float64 {
+	c.net.AddFLOPs(2 * float64(a.Grid.NNZ()))
+	c.net.AddComm(stage, 8*int64(c.cfg.Workers))
+	return math.Sqrt(matrix.FrobeniusSqGrid(a.Grid))
+}
+
+// Value extracts the single cell of a 1x1 matrix at the driver.
+func (c *Cluster) Value(a *DistMatrix, stage int) (float64, error) {
+	if a.Rows() != 1 || a.Cols() != 1 {
+		return 0, fmt.Errorf("dist: value() on %dx%d matrix", a.Rows(), a.Cols())
+	}
+	c.net.AddComm(stage, 8*int64(c.cfg.Workers))
+	return a.Grid.At(0, 0), nil
+}

@@ -1,0 +1,393 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmac/internal/dep"
+	"dmac/internal/matrix"
+)
+
+func testCluster() *Cluster {
+	return NewCluster(Config{Workers: 4, LocalParallelism: 2})
+}
+
+func randGrid(rng *rand.Rand, rows, cols, bs int, sparsity float64) *matrix.Grid {
+	if sparsity >= 1 {
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		return matrix.FromDense(rows, cols, bs, data)
+	}
+	var coords []matrix.Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < sparsity {
+				coords = append(coords, matrix.Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return matrix.FromCoords(rows, cols, bs, coords)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := NewCluster(Config{})
+	cfg := c.Config()
+	if cfg.Workers != 4 || cfg.LocalParallelism != 8 {
+		t.Errorf("defaults: workers=%d L=%d", cfg.Workers, cfg.LocalParallelism)
+	}
+	if cfg.BandwidthBytesPerSec <= 0 || cfg.ShuffleLatencySec <= 0 || cfg.FlopsPerSecPerThread <= 0 {
+		t.Error("time-model defaults missing")
+	}
+	if c.Workers() != 4 || c.LocalParallelism() != 8 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestPartitionChargesMatrixSize(t *testing.T) {
+	c := testCluster()
+	rng := rand.New(rand.NewSource(1))
+	g := randGrid(rng, 20, 20, 5, 1)
+	m := NewDistMatrix(g, dep.SchemeNone)
+	out, err := c.Partition(m, dep.Row, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme != dep.Row {
+		t.Errorf("scheme = %s", out.Scheme)
+	}
+	s := c.Net().Snapshot()
+	if s.Bytes != g.MemBytes() {
+		t.Errorf("bytes = %d, want |A| = %d", s.Bytes, g.MemBytes())
+	}
+	if s.CommEvents != 1 || s.StageBytes[1] != g.MemBytes() {
+		t.Errorf("events=%d stageBytes=%v", s.CommEvents, s.StageBytes)
+	}
+	if _, err := c.Partition(m, dep.Broadcast, 1); err == nil {
+		t.Error("partition to broadcast must fail")
+	}
+}
+
+func TestBroadcastChargesNTimes(t *testing.T) {
+	c := testCluster()
+	rng := rand.New(rand.NewSource(2))
+	g := randGrid(rng, 12, 12, 4, 1)
+	m := NewDistMatrix(g, dep.Row)
+	out := c.Broadcast(m, 2)
+	if out.Scheme != dep.Broadcast {
+		t.Errorf("scheme = %s", out.Scheme)
+	}
+	if got := c.Net().Snapshot().Bytes; got != 4*g.MemBytes() {
+		t.Errorf("bytes = %d, want N|A| = %d", got, 4*g.MemBytes())
+	}
+}
+
+func TestExtractAndTransposeAreFree(t *testing.T) {
+	c := testCluster()
+	rng := rand.New(rand.NewSource(3))
+	g := randGrid(rng, 10, 14, 4, 0.3)
+	b := NewDistMatrix(g, dep.Broadcast)
+	r, err := c.Extract(b, dep.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme != dep.Row {
+		t.Errorf("extract scheme = %s", r.Scheme)
+	}
+	tr := c.Transpose(r)
+	if tr.Scheme != dep.Col {
+		t.Errorf("transpose scheme = %s, want c", tr.Scheme)
+	}
+	if tr.Rows() != 14 || tr.Cols() != 10 {
+		t.Errorf("transpose shape %dx%d", tr.Rows(), tr.Cols())
+	}
+	if got := c.Net().Snapshot().Bytes; got != 0 {
+		t.Errorf("local ops moved %d bytes", got)
+	}
+	if _, err := c.Extract(r, dep.Col); err == nil {
+		t.Error("extract from non-broadcast must fail")
+	}
+	if _, err := c.Extract(b, dep.Broadcast); err == nil {
+		t.Error("extract to broadcast must fail")
+	}
+}
+
+func TestShuffleTransposeCharges(t *testing.T) {
+	c := testCluster()
+	rng := rand.New(rand.NewSource(4))
+	g := randGrid(rng, 8, 8, 3, 1)
+	m := NewDistMatrix(g, dep.Row)
+	out := c.ShuffleTranspose(m, 1)
+	if out.Scheme != dep.Col {
+		t.Errorf("scheme = %s", out.Scheme)
+	}
+	if got := c.Net().Snapshot().Bytes; got != g.MemBytes() {
+		t.Errorf("bytes = %d, want %d", got, g.MemBytes())
+	}
+}
+
+func TestMultiplyStrategiesCorrectAndAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ga := randGrid(rng, 15, 10, 4, 0.4)
+	gb := randGrid(rng, 10, 12, 4, 1)
+	want, err := matrix.MulGrid(ga, gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		strategy  MulStrategy
+		sa, sb    dep.Scheme
+		outScheme dep.Scheme
+		wantOut   dep.Scheme
+		comm      func(out *DistMatrix) int64
+	}{
+		{RMM1, dep.Broadcast, dep.Col, dep.SchemeNone, dep.Col, func(*DistMatrix) int64 { return 0 }},
+		{RMM2, dep.Row, dep.Broadcast, dep.SchemeNone, dep.Row, func(*DistMatrix) int64 { return 0 }},
+		{CPMM, dep.Col, dep.Row, dep.Row, dep.Row, func(o *DistMatrix) int64 { return 4 * o.Bytes() }},
+		{CPMM, dep.Col, dep.Row, dep.Col, dep.Col, func(o *DistMatrix) int64 { return 4 * o.Bytes() }},
+	}
+	for _, tc := range cases {
+		c := testCluster()
+		a := NewDistMatrix(ga, tc.sa)
+		b := NewDistMatrix(gb, tc.sb)
+		out, err := c.Multiply(a, b, tc.strategy, tc.outScheme, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.strategy, err)
+		}
+		if !matrix.GridEqual(out.Grid, want, 1e-9) {
+			t.Errorf("%s: wrong product", tc.strategy)
+		}
+		if out.Scheme != tc.wantOut {
+			t.Errorf("%s: out scheme %s, want %s", tc.strategy, out.Scheme, tc.wantOut)
+		}
+		if got := c.Net().Snapshot().Bytes; got != tc.comm(out) {
+			t.Errorf("%s: comm %d, want %d", tc.strategy, got, tc.comm(out))
+		}
+		if c.Net().Snapshot().FLOPs <= 0 {
+			t.Errorf("%s: no FLOPs recorded", tc.strategy)
+		}
+	}
+}
+
+func TestMultiplySchemeValidation(t *testing.T) {
+	c := testCluster()
+	rng := rand.New(rand.NewSource(6))
+	a := NewDistMatrix(randGrid(rng, 4, 4, 2, 1), dep.Row)
+	b := NewDistMatrix(randGrid(rng, 4, 4, 2, 1), dep.Row)
+	if _, err := c.Multiply(a, b, RMM1, dep.SchemeNone, 1); err == nil {
+		t.Error("RMM1 with wrong schemes must fail")
+	}
+	if _, err := c.Multiply(a, b, MulStrategy(9), dep.SchemeNone, 1); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+	aCol := NewDistMatrix(a.Grid, dep.Col)
+	if _, err := c.Multiply(aCol, b, CPMM, dep.Broadcast, 1); err == nil {
+		t.Error("CPMM to broadcast must fail")
+	}
+}
+
+func TestCellwiseAndScalar(t *testing.T) {
+	c := testCluster()
+	rng := rand.New(rand.NewSource(7))
+	ga := randGrid(rng, 9, 9, 3, 1)
+	gb := randGrid(rng, 9, 9, 3, 1)
+	a := NewDistMatrix(ga, dep.Col)
+	b := NewDistMatrix(gb, dep.Col)
+	out, err := c.Cellwise(matrix.OpCellMul, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme != dep.Col {
+		t.Errorf("cellwise scheme %s", out.Scheme)
+	}
+	want, _ := matrix.CellwiseGrid(matrix.OpCellMul, ga, gb)
+	if !matrix.GridEqual(out.Grid, want, 0) {
+		t.Error("cellwise result wrong")
+	}
+	if got := c.Net().Snapshot().Bytes; got != 0 {
+		t.Errorf("cellwise moved %d bytes", got)
+	}
+	if _, err := c.Cellwise(matrix.OpAdd, a, NewDistMatrix(gb, dep.Row)); err == nil {
+		t.Error("mismatched schemes must fail")
+	}
+	if _, err := c.Cellwise(matrix.OpAdd, NewDistMatrix(ga, dep.SchemeNone), NewDistMatrix(gb, dep.SchemeNone)); err == nil {
+		t.Error("hash scheme cellwise must fail")
+	}
+	sc, err := c.Scalar(matrix.ScalarMul, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.GridEqual(sc.Grid, matrix.ScalarGrid(matrix.ScalarMul, ga, 2), 0) {
+		t.Error("scalar result wrong")
+	}
+	if _, err := c.Scalar(matrix.ScalarMul, NewDistMatrix(ga, dep.SchemeNone), 2); err == nil {
+		t.Error("scalar on hash scheme must fail")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	c := testCluster()
+	g := matrix.FromDense(2, 2, 2, []float64{1, 2, 3, 4})
+	m := NewDistMatrix(g, dep.Row)
+	if got := c.Sum(m, 1); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := c.Norm2(m, 1); math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("Norm2 = %v, want sqrt(30)", got)
+	}
+	one := NewDistMatrix(matrix.FromDense(1, 1, 1, []float64{7}), dep.Broadcast)
+	v, err := c.Value(one, 1)
+	if err != nil || v != 7 {
+		t.Errorf("Value = %v, %v", v, err)
+	}
+	if _, err := c.Value(m, 1); err == nil {
+		t.Error("Value on non-1x1 must fail")
+	}
+	// Each aggregate collected 8 bytes per worker.
+	s := c.Net().Snapshot()
+	if s.Bytes != 3*8*4 {
+		t.Errorf("aggregate bytes = %d, want %d", s.Bytes, 3*8*4)
+	}
+}
+
+func TestModelTime(t *testing.T) {
+	c := NewCluster(Config{
+		Workers:              4,
+		LocalParallelism:     2,
+		BandwidthBytesPerSec: 1000,
+		ShuffleLatencySec:    0.5,
+		FlopsPerSecPerThread: 100,
+	})
+	c.Net().AddComm(1, 2000) // 2 s transfer + 0.5 s latency
+	c.Net().AddFLOPs(1600)   // 1600 / (4*2*100) = 2 s
+	want := 2.0 + 0.5 + 2.0
+	if got := c.ModelTimeSec(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ModelTimeSec = %v, want %v", got, want)
+	}
+}
+
+func TestStragglerInjection(t *testing.T) {
+	base := Config{
+		Workers:              4,
+		LocalParallelism:     2,
+		BandwidthBytesPerSec: 1000,
+		ShuffleLatencySec:    0.5,
+		FlopsPerSecPerThread: 100,
+	}
+	if got := base.withDefaults().MaxSlowdown(); got != 1 {
+		t.Errorf("no stragglers: slowdown = %v", got)
+	}
+	slow := base
+	slow.Stragglers = map[int]float64{2: 3}
+	c0 := NewCluster(base)
+	c1 := NewCluster(slow)
+	for _, c := range []*Cluster{c0, c1} {
+		c.Net().AddFLOPs(1600) // 2 s at full speed
+		c.Net().AddComm(1, 2000)
+	}
+	// Compute triples; network is unaffected.
+	want := 3*2.0 + 2.0 + 0.5
+	if got := c1.ModelTimeSec(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("straggler model time = %v, want %v", got, want)
+	}
+	if got := c0.ModelTimeSec(); math.Abs(got-(2.0+2.5)) > 1e-9 {
+		t.Errorf("baseline model time = %v", got)
+	}
+	// Out-of-range worker indices and sub-1 factors are ignored.
+	odd := base
+	odd.Stragglers = map[int]float64{99: 5, 1: 0.5}
+	if got := odd.MaxSlowdown(); got != 1 {
+		t.Errorf("invalid stragglers should be ignored, got %v", got)
+	}
+}
+
+func TestNetStatsResetAndString(t *testing.T) {
+	n := &NetStats{}
+	n.AddComm(1, 100)
+	n.AddComm(2, 50)
+	n.AddFLOPs(10)
+	s := n.Snapshot()
+	if s.Bytes != 150 || s.CommEvents != 2 || s.FLOPs != 10 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.StageBytes[1] != 100 || s.StageBytes[2] != 50 {
+		t.Errorf("stage bytes = %v", s.StageBytes)
+	}
+	if n.String() == "" {
+		t.Error("empty String")
+	}
+	n.Reset()
+	if s := n.Snapshot(); s.Bytes != 0 || s.CommEvents != 0 || s.FLOPs != 0 || len(s.StageBytes) != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestMulFLOPsEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dense := randGrid(rng, 10, 10, 5, 1)
+	sparse := randGrid(rng, 10, 10, 5, 0.1)
+	dd := mulFLOPs(dense, dense)
+	if want := 2.0 * 100 * 10; math.Abs(dd-want) > 1 {
+		t.Errorf("dense-dense FLOPs = %v, want %v", dd, want)
+	}
+	sd := mulFLOPs(sparse, dense)
+	if sd >= dd {
+		t.Errorf("sparse-dense FLOPs %v should be below dense-dense %v", sd, dd)
+	}
+	if mulFLOPs(sparse, sparse) <= 0 && sparse.NNZ() > 0 {
+		t.Error("sparse-sparse FLOPs should be positive")
+	}
+}
+
+func TestOwnerAndLoadImbalance(t *testing.T) {
+	c := testCluster() // 4 workers
+	// Uniform dense grid, Row placement: perfectly balanced when the block
+	// rows divide evenly among workers.
+	g := matrix.NewDenseGrid(32, 8, 4) // 8 block rows over 4 workers
+	m := NewDistMatrix(g, dep.Row)
+	if got := c.LoadImbalance(m); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform row imbalance = %v, want 1", got)
+	}
+	if c.Owner(m, 5, 0) != 1 {
+		t.Errorf("owner of block row 5 = %d, want 1", c.Owner(m, 5, 0))
+	}
+	// Skewed: all mass in one block row.
+	var coords []matrix.Coord
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 4; i++ {
+			coords = append(coords, matrix.Coord{Row: i, Col: j, Val: 1})
+		}
+	}
+	sk := NewDistMatrix(matrix.FromCoords(32, 8, 4, coords), dep.Row)
+	if got := c.LoadImbalance(sk); got <= 1.5 {
+		t.Errorf("skewed imbalance = %v, want > 1.5", got)
+	}
+	// Broadcast is balanced by definition.
+	if got := c.LoadImbalance(NewDistMatrix(g, dep.Broadcast)); got != 1 {
+		t.Errorf("broadcast imbalance = %v", got)
+	}
+	// Col placement keys on block columns.
+	mc := NewDistMatrix(g, dep.Col)
+	if c.Owner(mc, 0, 1) != 1 || c.Owner(mc, 3, 0) != 0 {
+		t.Error("column owners wrong")
+	}
+	// Hash placement spreads by both coordinates.
+	mh := NewDistMatrix(g, dep.SchemeNone)
+	if got := c.LoadImbalance(mh); got < 1 {
+		t.Errorf("hash imbalance = %v", got)
+	}
+	// Empty matrix does not divide by zero.
+	empty := NewDistMatrix(matrix.FromCoords(4, 4, 2, nil), dep.Row)
+	if got := c.LoadImbalance(empty); got < 0.9 {
+		t.Errorf("empty imbalance = %v", got)
+	}
+}
+
+func TestDistMatrixString(t *testing.T) {
+	m := NewDistMatrix(matrix.NewDenseGrid(3, 4, 2), dep.Row)
+	if m.String() != "3x4(r)" {
+		t.Errorf("String = %q", m.String())
+	}
+}

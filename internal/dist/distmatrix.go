@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"fmt"
+
+	"dmac/internal/dep"
+	"dmac/internal/matrix"
+)
+
+// DistMatrix is a matrix distributed across the cluster: block data plus the
+// scheme describing how the blocks are placed on workers. SchemeNone means
+// hash placement (blocks scattered by hash of their coordinates — the layout
+// fresh loads and SystemML-S outputs have).
+//
+// The simulation stores the blocks in a single shared Grid; placement is
+// logical and drives only the communication accounting and task ownership.
+type DistMatrix struct {
+	Grid   *matrix.Grid
+	Scheme dep.Scheme
+}
+
+// NewDistMatrix wraps a grid with a placement scheme.
+func NewDistMatrix(g *matrix.Grid, scheme dep.Scheme) *DistMatrix {
+	return &DistMatrix{Grid: g, Scheme: scheme}
+}
+
+// Rows returns the logical row count.
+func (m *DistMatrix) Rows() int { return m.Grid.Rows() }
+
+// Cols returns the logical column count.
+func (m *DistMatrix) Cols() int { return m.Grid.Cols() }
+
+// Bytes returns the actual block memory footprint, which is what the
+// instrumented network charges for moving the matrix.
+func (m *DistMatrix) Bytes() int64 { return m.Grid.MemBytes() }
+
+// String describes the matrix.
+func (m *DistMatrix) String() string {
+	return fmt.Sprintf("%dx%d(%s)", m.Rows(), m.Cols(), m.Scheme)
+}
+
+// Owner returns the worker a block is placed on under the matrix's scheme:
+// block-rows round-robin for Row, block-columns for Col, hash of the block
+// coordinates for hash placement. Broadcast replicas live everywhere
+// (worker 0 is reported).
+func (c *Cluster) Owner(m *DistMatrix, bi, bj int) int {
+	k := c.cfg.Workers
+	switch m.Scheme {
+	case dep.Row:
+		return bi % k
+	case dep.Col:
+		return bj % k
+	case dep.Broadcast:
+		return 0
+	default: // hash placement
+		return (bi*m.Grid.BlockCols() + bj) % k
+	}
+}
+
+// LoadImbalance reports the skew of the matrix's stored bytes across
+// workers under its placement: max worker load divided by the mean. 1 means
+// perfectly balanced; real graph datasets with power-law degrees are skewed
+// under one-dimensional partitioning, which is the effect the paper points
+// to when measured block-size thresholds deviate slightly from Eq. 3
+// (Section 6.3). Broadcast replicas are balanced by construction.
+func (c *Cluster) LoadImbalance(m *DistMatrix) float64 {
+	if m.Scheme == dep.Broadcast {
+		return 1
+	}
+	loads := make([]int64, c.cfg.Workers)
+	for bi := 0; bi < m.Grid.BlockRows(); bi++ {
+		for bj := 0; bj < m.Grid.BlockCols(); bj++ {
+			loads[c.Owner(m, bi, bj)] += m.Grid.Block(bi, bj).MemBytes()
+		}
+	}
+	var max, total int64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(c.cfg.Workers)
+	return float64(max) / mean
+}
+
+// Partition repartitions the matrix to a Row or Col scheme, charging |A| to
+// the network (the repartition shuffle of the partition extended operator).
+// stage attributes the traffic in per-stage statistics.
+func (c *Cluster) Partition(m *DistMatrix, scheme dep.Scheme, stage int) (*DistMatrix, error) {
+	if scheme != dep.Row && scheme != dep.Col {
+		return nil, fmt.Errorf("dist: partition to invalid scheme %s", scheme)
+	}
+	c.net.AddComm(stage, m.Bytes())
+	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
+}
+
+// Broadcast replicates the matrix on every worker, charging N x |A|.
+func (c *Cluster) Broadcast(m *DistMatrix, stage int) *DistMatrix {
+	c.net.AddComm(stage, int64(c.cfg.Workers)*m.Bytes())
+	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast}
+}
+
+// Extract locally filters a broadcast replica down to a Row or Col
+// partition; no communication (the extract extended operator).
+func (c *Cluster) Extract(m *DistMatrix, scheme dep.Scheme) (*DistMatrix, error) {
+	if m.Scheme != dep.Broadcast {
+		return nil, fmt.Errorf("dist: extract from scheme %s", m.Scheme)
+	}
+	if scheme != dep.Row && scheme != dep.Col {
+		return nil, fmt.Errorf("dist: extract to invalid scheme %s", scheme)
+	}
+	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
+}
+
+// Transpose locally transposes the matrix; the scheme flips between Row and
+// Col (Broadcast and hash placements stay as they are). No communication
+// (the transpose extended operator).
+func (c *Cluster) Transpose(m *DistMatrix) *DistMatrix {
+	c.net.AddFLOPs(float64(m.Grid.NNZ()))
+	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
+}
+
+// ShuffleTranspose is the baseline transpose job: a full shuffle that
+// materializes the transpose (SystemML-S pays |A| for it).
+func (c *Cluster) ShuffleTranspose(m *DistMatrix, stage int) *DistMatrix {
+	c.net.AddComm(stage, m.Bytes())
+	c.net.AddFLOPs(float64(m.Grid.NNZ()))
+	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
+}

@@ -1,0 +1,354 @@
+// Package engine executes matrix programs. It offers three engines over the
+// same substrate, mirroring the paper's evaluation setup (Section 6.1):
+//
+//   - DMac: plans with the dependency-aware planner (internal/core.Generate)
+//     and keeps the schemes of session variables across program executions,
+//     so cross-iteration matrix dependencies are exploited.
+//   - SystemML-S: identical runtime and local execution strategy, but plans
+//     with core.GenerateSystemMLS — no dependency analysis, every operator
+//     repartitions its inputs.
+//   - Local: the single-machine in-memory reference ("R" in the paper's
+//     figures): the whole program runs on one worker, no communication.
+//
+// An Engine owns a session: named variables materialized by previous Run
+// calls (with their schemes) and named driver scalars produced by aggregate
+// operators.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dmac/internal/core"
+	"dmac/internal/dep"
+	"dmac/internal/dist"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+)
+
+// Planner selects the planning mode of an engine.
+type Planner int
+
+// The three engines compared in the paper's experiments.
+const (
+	// DMac plans with matrix-dependency analysis (the paper's system).
+	DMac Planner = iota
+	// SystemMLS is the dependency-oblivious baseline.
+	SystemMLS
+	// Local is the single-machine in-memory reference.
+	Local
+)
+
+// String names the planner as in the paper's figures.
+func (p Planner) String() string {
+	switch p {
+	case DMac:
+		return "DMac"
+	case SystemMLS:
+		return "SystemML-S"
+	case Local:
+		return "R"
+	default:
+		return fmt.Sprintf("Planner(%d)", int(p))
+	}
+}
+
+// Metrics reports the cost of one Run.
+type Metrics struct {
+	// WallSeconds is the measured wall-clock time of the execution.
+	WallSeconds float64
+	// ModelSeconds is the deterministic modelled time: local compute spread
+	// over workers and threads plus network transfer and shuffle latency.
+	ModelSeconds float64
+	// CommBytes is the data moved across workers.
+	CommBytes int64
+	// CommEvents counts shuffle/broadcast operations.
+	CommEvents int
+	// FLOPs is the estimated arithmetic performed.
+	FLOPs float64
+	// Stages is the number of un-interleaved stages of the executed plan
+	// (0 for the local engine).
+	Stages int
+	// StageBytes maps plan stages to the bytes shuffled into them.
+	StageBytes map[int]int64
+}
+
+// Add accumulates other into m (for per-iteration totals).
+func (m *Metrics) Add(other Metrics) {
+	m.WallSeconds += other.WallSeconds
+	m.ModelSeconds += other.ModelSeconds
+	m.CommBytes += other.CommBytes
+	m.CommEvents += other.CommEvents
+	m.FLOPs += other.FLOPs
+	if other.Stages > m.Stages {
+		m.Stages = other.Stages
+	}
+	if m.StageBytes == nil {
+		m.StageBytes = make(map[int]int64)
+	}
+	for k, v := range other.StageBytes {
+		m.StageBytes[k] += v
+	}
+}
+
+// varState is a session variable: its instances per scheme.
+type varState struct {
+	rows, cols int
+	instances  map[dep.Scheme]*dist.DistMatrix
+}
+
+// Engine runs matrix programs and maintains the session between runs.
+type Engine struct {
+	planner   Planner
+	cluster   *dist.Cluster
+	blockSize int
+	vars      map[string]*varState
+	scalars   map[string]float64
+	// ablation flags forwarded to the planner (see core.Config).
+	disablePullUp   bool
+	disableReassign bool
+	disableCPMM     bool
+	// planCache memoizes generated plans per program: iterative algorithms
+	// run the same Program object every iteration, and once the session
+	// schemes stabilize the plan is identical. Keyed by the Program pointer
+	// and validated against a signature of the session schemes the program
+	// reads.
+	planCache map[*expr.Program]planCacheEntry
+	cacheHits int
+	cacheMiss int
+}
+
+type planCacheEntry struct {
+	sig  string
+	plan *core.Plan
+}
+
+// PlanCacheStats reports how many Run calls reused a cached plan versus
+// regenerated one.
+func (e *Engine) PlanCacheStats() (hits, misses int) { return e.cacheHits, e.cacheMiss }
+
+// planSignature captures everything outside the program that plan
+// generation depends on: the cached schemes of the variables the program
+// reads, the worker count, and the ablation flags.
+func (e *Engine) planSignature(p *expr.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w=%d;pu=%v;ra=%v;cp=%v;", e.cluster.Workers(), e.disablePullUp, e.disableReassign, e.disableCPMM)
+	for _, n := range p.Nodes() {
+		if n.Kind != expr.KindLoad && n.Kind != expr.KindVar {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:", n.Name)
+		for _, s := range e.VarSchemes(n.Name) {
+			b.WriteString(s.String())
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// SetAblation toggles the planner heuristics for ablation studies: Pull-Up
+// Broadcast, Re-assignment, and the CPMM strategy. Changing the flags
+// invalidates cached plans.
+func (e *Engine) SetAblation(disablePullUp, disableReassign, disableCPMM bool) {
+	e.disablePullUp = disablePullUp
+	e.disableReassign = disableReassign
+	e.disableCPMM = disableCPMM
+	e.planCache = nil
+}
+
+// New creates an engine. blockSize is the block side used for all matrices
+// in the session (pick with sched.ChooseBlockSize); cfg configures the
+// simulated cluster.
+func New(planner Planner, cfg dist.Config, blockSize int) *Engine {
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	if planner == Local {
+		cfg.Workers = 1
+	}
+	return &Engine{
+		planner:   planner,
+		cluster:   dist.NewCluster(cfg),
+		blockSize: blockSize,
+		vars:      make(map[string]*varState),
+		scalars:   make(map[string]float64),
+	}
+}
+
+// Planner returns the engine's planning mode.
+func (e *Engine) Planner() Planner { return e.planner }
+
+// Cluster exposes the underlying simulated cluster.
+func (e *Engine) Cluster() *dist.Cluster { return e.cluster }
+
+// BlockSize returns the session block size.
+func (e *Engine) BlockSize() int { return e.blockSize }
+
+// Bind registers an input matrix under a name. The grid must use the
+// session block size. Bound data starts hash-partitioned, like a fresh load
+// in the paper; program Load/Var leaves with this name resolve to it.
+func (e *Engine) Bind(name string, g *matrix.Grid) error {
+	if g.BlockSize() != e.blockSize {
+		return fmt.Errorf("engine: %s has block size %d, session uses %d", name, g.BlockSize(), e.blockSize)
+	}
+	e.vars[name] = &varState{
+		rows: g.Rows(),
+		cols: g.Cols(),
+		instances: map[dep.Scheme]*dist.DistMatrix{
+			dep.SchemeNone: dist.NewDistMatrix(g, dep.SchemeNone),
+		},
+	}
+	return nil
+}
+
+// Scalar returns a driver scalar produced by an aggregate operator, and
+// whether it exists.
+func (e *Engine) Scalar(name string) (float64, bool) {
+	v, ok := e.scalars[name]
+	return v, ok
+}
+
+// SetScalar pre-sets a driver scalar (rarely needed; parameters are usually
+// passed to Run).
+func (e *Engine) SetScalar(name string, v float64) { e.scalars[name] = v }
+
+// Grid returns a materialized session variable's data (any cached instance)
+// for verification and export, and whether the variable exists.
+func (e *Engine) Grid(name string) (*matrix.Grid, bool) {
+	vs, ok := e.vars[name]
+	if !ok {
+		return nil, false
+	}
+	for _, inst := range vs.instances {
+		return inst.Grid, true
+	}
+	return nil, false
+}
+
+// VarSchemes lists the schemes a session variable is cached with; used to
+// build the planner configuration and by tests.
+func (e *Engine) VarSchemes(name string) []dep.Scheme {
+	vs, ok := e.vars[name]
+	if !ok {
+		return nil
+	}
+	out := make([]dep.Scheme, 0, len(vs.instances))
+	for _, s := range []dep.Scheme{dep.Row, dep.Col, dep.Broadcast, dep.SchemeNone} {
+		if _, ok := vs.instances[s]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// planConfig builds the planner view of the current session.
+func (e *Engine) planConfig() core.Config {
+	vars := make(map[string][]dep.Scheme, len(e.vars))
+	for name := range e.vars {
+		schemes := e.VarSchemes(name)
+		concrete := schemes[:0:0]
+		for _, s := range schemes {
+			if s != dep.SchemeNone {
+				concrete = append(concrete, s)
+			}
+		}
+		if len(concrete) > 0 {
+			vars[name] = concrete
+		}
+		// Variables cached only hash-partitioned are left out: the planner
+		// treats unknown variables as hash-partitioned already.
+	}
+	return core.Config{
+		Workers:         e.cluster.Workers(),
+		Vars:            vars,
+		DisablePullUp:   e.disablePullUp,
+		DisableReassign: e.disableReassign,
+		DisableCPMM:     e.disableCPMM,
+	}
+}
+
+// Run plans and executes a program against the session. params provides the
+// values of named scalar parameters (expr.ScalarParam). On success the
+// program's assignments update the session variables and its scalar outputs
+// update the session scalars.
+func (e *Engine) Run(p *expr.Program, params map[string]float64) (Metrics, error) {
+	if e.planner == Local {
+		return e.runLocal(p, params)
+	}
+	sig := e.planSignature(p)
+	var plan *core.Plan
+	if entry, ok := e.planCache[p]; ok && entry.sig == sig {
+		plan = entry.plan
+		e.cacheHits++
+	} else {
+		var err error
+		cfg := e.planConfig()
+		switch e.planner {
+		case DMac:
+			plan, err = core.Generate(p, cfg)
+		case SystemMLS:
+			plan, err = core.GenerateSystemMLS(p, cfg)
+		default:
+			return Metrics{}, fmt.Errorf("engine: unknown planner %d", e.planner)
+		}
+		if err != nil {
+			return Metrics{}, err
+		}
+		if err := plan.Check(); err != nil {
+			return Metrics{}, err
+		}
+		if e.planCache == nil {
+			e.planCache = make(map[*expr.Program]planCacheEntry)
+		}
+		e.planCache[p] = planCacheEntry{sig: sig, plan: plan}
+		e.cacheMiss++
+	}
+	before := e.cluster.Net().Snapshot()
+	start := time.Now()
+	if err := e.execute(plan, params); err != nil {
+		return Metrics{}, err
+	}
+	wall := time.Since(start).Seconds()
+	after := e.cluster.Net().Snapshot()
+	return e.metricsDelta(before, after, wall, plan.Stages), nil
+}
+
+// Plan returns the plan the engine would execute for a program against the
+// current session, without executing it (the dmacplan explain path).
+func (e *Engine) Plan(p *expr.Program) (*core.Plan, error) {
+	switch e.planner {
+	case DMac:
+		return core.Generate(p, e.planConfig())
+	case SystemMLS:
+		return core.GenerateSystemMLS(p, e.planConfig())
+	default:
+		return nil, fmt.Errorf("engine: planner %s has no distributed plan", e.planner)
+	}
+}
+
+func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages int) Metrics {
+	cfg := e.cluster.Config()
+	bytes := after.Bytes - before.Bytes
+	events := after.CommEvents - before.CommEvents
+	flops := after.FLOPs - before.FLOPs
+	threads := float64(cfg.Workers * cfg.LocalParallelism)
+	model := flops*cfg.MaxSlowdown()/(threads*cfg.FlopsPerSecPerThread) +
+		float64(bytes)/cfg.BandwidthBytesPerSec +
+		float64(events)*cfg.ShuffleLatencySec
+	stageBytes := make(map[int]int64)
+	for k, v := range after.StageBytes {
+		if d := v - before.StageBytes[k]; d > 0 {
+			stageBytes[k] = d
+		}
+	}
+	return Metrics{
+		WallSeconds:  wall,
+		ModelSeconds: model,
+		CommBytes:    bytes,
+		CommEvents:   events,
+		FLOPs:        flops,
+		Stages:       stages,
+		StageBytes:   stageBytes,
+	}
+}

@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmac/internal/dep"
+	"dmac/internal/dist"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+)
+
+const (
+	tRows = 30 // movies
+	tCols = 40 // users
+	tK    = 5  // factor
+	tBS   = 7  // block size
+)
+
+func testConfig() dist.Config {
+	return dist.Config{Workers: 4, LocalParallelism: 2}
+}
+
+func randDenseGrid(rng *rand.Rand, rows, cols, bs int) *matrix.Grid {
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = rng.Float64() + 0.1 // positive, GNMF-friendly
+	}
+	return matrix.FromDense(rows, cols, bs, data)
+}
+
+func randSparseGrid(rng *rand.Rand, rows, cols, bs int, s float64) *matrix.Grid {
+	var coords []matrix.Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < s {
+				coords = append(coords, matrix.Coord{Row: i, Col: j, Val: rng.Float64() + 0.5})
+			}
+		}
+	}
+	return matrix.FromCoords(rows, cols, bs, coords)
+}
+
+// gnmfProgram builds one full GNMF iteration (Code 1): the H update followed
+// by the W update.
+func gnmfProgram(vSparsity float64) *expr.Program {
+	p := expr.NewProgram()
+	V := p.Var("V", tRows, tCols, vSparsity)
+	W := p.Var("W", tRows, tK, 1)
+	H := p.Var("H", tK, tCols, 1)
+	// H = H * (Wᵀ V) / (Wᵀ W H)
+	WtV := p.Mul(W.T(), V)
+	WtW := p.Mul(W.T(), W)
+	WtWH := p.Mul(WtW, H)
+	newH := p.CellDiv(p.CellMul(H, WtV), WtWH)
+	// W = W * (V Hᵀ) / (W H Hᵀ)  — uses the updated H, as in Code 1.
+	VHt := p.Mul(V, newH.T())
+	HHt := p.Mul(newH, newH.T())
+	WHHt := p.Mul(W, HHt)
+	newW := p.CellDiv(p.CellMul(W, VHt), WHHt)
+	p.Assign("H", newH)
+	p.Assign("W", newW)
+	return p
+}
+
+// refGNMFIteration computes one GNMF iteration sequentially.
+func refGNMFIteration(v, w, h *matrix.Grid) (*matrix.Grid, *matrix.Grid) {
+	mul := func(a, b *matrix.Grid) *matrix.Grid {
+		g, err := matrix.MulGrid(a, b)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	cell := func(op matrix.BinOp, a, b *matrix.Grid) *matrix.Grid {
+		g, err := matrix.CellwiseGrid(op, a, b)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	wt := w.Transpose()
+	newH := cell(matrix.OpCellDiv, cell(matrix.OpCellMul, h, mul(wt, v)), mul(mul(wt, w), h))
+	ht := newH.Transpose()
+	newW := cell(matrix.OpCellDiv, cell(matrix.OpCellMul, w, mul(v, ht)), mul(w, mul(newH, ht)))
+	return newH, newW
+}
+
+func bindGNMF(t *testing.T, e *Engine) (v, w, h *matrix.Grid) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	v = randSparseGrid(rng, tRows, tCols, tBS, 0.3)
+	w = randDenseGrid(rng, tRows, tK, tBS)
+	h = randDenseGrid(rng, tK, tCols, tBS)
+	for name, g := range map[string]*matrix.Grid{"V": v, "W": w, "H": h} {
+		if err := e.Bind(name, g.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, w, h
+}
+
+func TestEnginesAgreeOnGNMF(t *testing.T) {
+	const iters = 3
+	// Reference.
+	refV, refW, refH := func() (*matrix.Grid, *matrix.Grid, *matrix.Grid) {
+		e := New(Local, testConfig(), tBS)
+		return bindGNMF(t, e)
+	}()
+	wantW, wantH := refW, refH
+	for i := 0; i < iters; i++ {
+		wantH, wantW = refGNMFIteration(refV, wantW, wantH)
+	}
+
+	for _, planner := range []Planner{DMac, SystemMLS, Local} {
+		e := New(planner, testConfig(), tBS)
+		bindGNMF(t, e)
+		prog := gnmfProgram(0.3)
+		for i := 0; i < iters; i++ {
+			if _, err := e.Run(prog, nil); err != nil {
+				t.Fatalf("%s iteration %d: %v", planner, i, err)
+			}
+		}
+		gotH, ok := e.Grid("H")
+		if !ok {
+			t.Fatalf("%s: H not materialized", planner)
+		}
+		gotW, _ := e.Grid("W")
+		if !matrix.GridEqual(gotH, wantH, 1e-8) {
+			t.Errorf("%s: H differs from reference", planner)
+		}
+		if !matrix.GridEqual(gotW, wantW, 1e-8) {
+			t.Errorf("%s: W differs from reference", planner)
+		}
+	}
+}
+
+func TestDMacCommunicatesLessThanBaseline(t *testing.T) {
+	var comm [2]int64
+	for i, planner := range []Planner{DMac, SystemMLS} {
+		e := New(planner, testConfig(), tBS)
+		bindGNMF(t, e)
+		prog := gnmfProgram(0.3)
+		var total Metrics
+		for it := 0; it < 3; it++ {
+			m, err := e.Run(prog, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total.Add(m)
+		}
+		comm[i] = total.CommBytes
+		if total.Stages == 0 || total.CommEvents == 0 {
+			t.Errorf("%s: missing metrics: %+v", planner, total)
+		}
+	}
+	if comm[0] >= comm[1] {
+		t.Errorf("DMac comm %d >= SystemML-S comm %d", comm[0], comm[1])
+	}
+	// The paper reports ~27x on GNMF; on this tiny instance demand at
+	// least 2x.
+	if comm[1] < 2*comm[0] {
+		t.Errorf("expected >= 2x communication gap, got DMac=%d SystemML-S=%d", comm[0], comm[1])
+	}
+}
+
+func TestLocalEngineNeverCommunicates(t *testing.T) {
+	e := New(Local, testConfig(), tBS)
+	bindGNMF(t, e)
+	m, err := e.Run(gnmfProgram(0.3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CommBytes != 0 || m.CommEvents != 0 {
+		t.Errorf("local engine communicated: %+v", m)
+	}
+	if m.FLOPs <= 0 || m.ModelSeconds <= 0 {
+		t.Errorf("local engine should model compute: %+v", m)
+	}
+}
+
+func TestSessionSchemesCarryAcrossIterations(t *testing.T) {
+	e := New(DMac, testConfig(), tBS)
+	bindGNMF(t, e)
+	prog := gnmfProgram(0.3)
+	m1, err := e.Run(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first run H and W must be cached with concrete schemes.
+	for _, name := range []string{"H", "W"} {
+		schemes := e.VarSchemes(name)
+		if len(schemes) == 0 {
+			t.Fatalf("%s has no cached schemes", name)
+		}
+		for _, s := range schemes {
+			if s == dep.SchemeNone {
+				t.Errorf("%s cached hash-partitioned after a DMac run", name)
+			}
+		}
+	}
+	// Later iterations must not communicate more than the first (scheme
+	// reuse): in particular V is never repartitioned again.
+	m2, err := e.Run(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.CommBytes > m1.CommBytes {
+		t.Errorf("iteration 2 comm %d > iteration 1 comm %d", m2.CommBytes, m1.CommBytes)
+	}
+}
+
+func TestScalarParamsAndAggregates(t *testing.T) {
+	for _, planner := range []Planner{DMac, SystemMLS, Local} {
+		e := New(planner, testConfig(), 4)
+		rng := rand.New(rand.NewSource(7))
+		r := randDenseGrid(rng, 16, 1, 4)
+		if err := e.Bind("r", r.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		p := expr.NewProgram()
+		rv := p.Var("r", 16, 1, 1)
+		scaled := p.ScalarParam(matrix.ScalarMul, rv, "alpha")
+		rr := p.CellMul(scaled, scaled)
+		p.Sum("norm", rr)
+		rtr := p.Mul(rv.T(), rv)
+		p.Value("dot", rtr)
+		p.Norm2("n2", rv)
+		p.Assign("r2", scaled)
+		if _, err := e.Run(p, map[string]float64{"alpha": 2}); err != nil {
+			t.Fatalf("%s: %v", planner, err)
+		}
+		wantDot := 0.0
+		for i := 0; i < 16; i++ {
+			wantDot += r.At(i, 0) * r.At(i, 0)
+		}
+		if got, ok := e.Scalar("norm"); !ok || math.Abs(got-4*wantDot) > 1e-9 {
+			t.Errorf("%s: norm = %v, want %v", planner, got, 4*wantDot)
+		}
+		if got, _ := e.Scalar("dot"); math.Abs(got-wantDot) > 1e-9 {
+			t.Errorf("%s: dot = %v, want %v", planner, got, wantDot)
+		}
+		if got, _ := e.Scalar("n2"); math.Abs(got-math.Sqrt(wantDot)) > 1e-9 {
+			t.Errorf("%s: n2 = %v, want %v", planner, got, math.Sqrt(wantDot))
+		}
+		g, ok := e.Grid("r2")
+		if !ok {
+			t.Fatalf("%s: r2 missing", planner)
+		}
+		if math.Abs(g.At(3, 0)-2*r.At(3, 0)) > 1e-12 {
+			t.Errorf("%s: r2 wrong", planner)
+		}
+		// Missing parameter must fail.
+		if _, err := e.Run(p, nil); err == nil {
+			t.Errorf("%s: expected missing-parameter error", planner)
+		}
+	}
+}
+
+func TestTransposedAssignment(t *testing.T) {
+	e := New(DMac, testConfig(), 4)
+	rng := rand.New(rand.NewSource(9))
+	a := randDenseGrid(rng, 8, 12, 4)
+	if err := e.Bind("A", a.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	p := expr.NewProgram()
+	av := p.Var("A", 8, 12, 1)
+	doubled := p.Scalar(matrix.ScalarMul, av, 2)
+	p.Assign("At2", doubled.T())
+	if _, err := e.Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, ok := e.Grid("At2")
+	if !ok {
+		t.Fatal("At2 missing")
+	}
+	if g.Rows() != 12 || g.Cols() != 8 {
+		t.Fatalf("At2 shape %dx%d", g.Rows(), g.Cols())
+	}
+	if math.Abs(g.At(5, 2)-2*a.At(2, 5)) > 1e-12 {
+		t.Error("transposed assignment wrong values")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	e := New(DMac, testConfig(), 4)
+	p := expr.NewProgram()
+	v := p.Var("missing", 4, 4, 1)
+	p.Assign("X", v)
+	if _, err := e.Run(p, nil); err == nil {
+		t.Error("expected error for unbound variable")
+	}
+	// Shape mismatch between binding and program declaration.
+	if err := e.Bind("A", matrix.NewDenseGrid(4, 5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	p2 := expr.NewProgram()
+	a := p2.Var("A", 5, 4, 1)
+	p2.Assign("X", a)
+	if _, err := e.Run(p2, nil); err == nil {
+		t.Error("expected shape-mismatch error")
+	}
+	// Wrong block size at bind time.
+	if err := e.Bind("B", matrix.NewDenseGrid(4, 4, 3)); err == nil {
+		t.Error("expected block-size error")
+	}
+}
+
+func TestPlannerStringsAndPlanExplain(t *testing.T) {
+	if DMac.String() != "DMac" || SystemMLS.String() != "SystemML-S" || Local.String() != "R" {
+		t.Error("planner names wrong")
+	}
+	e := New(DMac, testConfig(), tBS)
+	bindGNMF(t, e)
+	plan, err := e.Plan(gnmfProgram(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages < 2 {
+		t.Errorf("GNMF plan has %d stages", plan.Stages)
+	}
+	eLocal := New(Local, testConfig(), tBS)
+	if _, err := eLocal.Plan(gnmfProgram(0.3)); err == nil {
+		t.Error("local engine should not produce distributed plans")
+	}
+}
+
+func TestStragglerSlowsComputeNotComm(t *testing.T) {
+	run := func(cfg dist.Config) (Metrics, *matrix.Grid) {
+		e := New(DMac, cfg, tBS)
+		bindGNMF(t, e)
+		m, err := e.Run(gnmfProgram(0.3), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _ := e.Grid("H")
+		return m, h
+	}
+	base, hBase := run(testConfig())
+	slowCfg := testConfig()
+	slowCfg.Stragglers = map[int]float64{1: 4}
+	slow, hSlow := run(slowCfg)
+	if slow.ModelSeconds <= base.ModelSeconds {
+		t.Errorf("straggler did not slow the model: %v vs %v", slow.ModelSeconds, base.ModelSeconds)
+	}
+	if slow.CommBytes != base.CommBytes || slow.FLOPs != base.FLOPs {
+		t.Error("straggler changed communication or work accounting")
+	}
+	if !matrix.GridEqual(hBase, hSlow, 0) {
+		t.Error("straggler changed results")
+	}
+}
+
+func TestPlanCacheReuseAndInvalidation(t *testing.T) {
+	e := New(DMac, testConfig(), tBS)
+	bindGNMF(t, e)
+	prog := gnmfProgram(0.3)
+	for i := 0; i < 4; i++ {
+		if _, err := e.Run(prog, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := e.PlanCacheStats()
+	// Iteration 1 plans against hash-partitioned vars, iteration 2 against
+	// the newly cached schemes; from then on the signature is stable.
+	if misses > 2 {
+		t.Errorf("misses = %d, want <= 2 (plan should be reused once schemes stabilize)", misses)
+	}
+	if hits < 2 {
+		t.Errorf("hits = %d, want >= 2", hits)
+	}
+	// Cached plans must still produce correct results (covered by
+	// TestEnginesAgreeOnGNMF running 3 iterations) and ablation changes
+	// must invalidate the cache.
+	e.SetAblation(true, false, false)
+	if _, err := e.Run(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2 := e.PlanCacheStats()
+	if misses2 <= misses {
+		t.Error("SetAblation did not invalidate the plan cache")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{WallSeconds: 1, ModelSeconds: 2, CommBytes: 10, CommEvents: 1, FLOPs: 5, Stages: 3,
+		StageBytes: map[int]int64{1: 10}}
+	b := Metrics{WallSeconds: 2, ModelSeconds: 1, CommBytes: 20, CommEvents: 2, FLOPs: 7, Stages: 2,
+		StageBytes: map[int]int64{1: 5, 2: 20}}
+	a.Add(b)
+	if a.WallSeconds != 3 || a.ModelSeconds != 3 || a.CommBytes != 30 || a.CommEvents != 3 || a.FLOPs != 12 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.Stages != 3 {
+		t.Errorf("Stages = %d, want max 3", a.Stages)
+	}
+	if a.StageBytes[1] != 15 || a.StageBytes[2] != 20 {
+		t.Errorf("StageBytes = %v", a.StageBytes)
+	}
+	var zero Metrics
+	zero.Add(b)
+	if zero.CommBytes != 20 {
+		t.Error("Add into zero value failed")
+	}
+}

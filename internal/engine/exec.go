@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"fmt"
+
+	"dmac/internal/core"
+	"dmac/internal/dep"
+	"dmac/internal/dist"
+	"dmac/internal/expr"
+)
+
+// execute walks a validated plan in order, materializing each value on the
+// cluster, then folds assignments and scalar outputs back into the session.
+func (e *Engine) execute(plan *core.Plan, params map[string]float64) error {
+	vals := make([]*dist.DistMatrix, len(plan.Values))
+	for i, op := range plan.Ops {
+		var (
+			out *dist.DistMatrix
+			err error
+		)
+		switch op.Kind {
+		case core.OpLoad, core.OpVar:
+			out, err = e.leafInstance(op, plan)
+		case core.OpPartition:
+			out, err = e.cluster.Partition(vals[op.Inputs[0]], plan.Value(op.Output).Scheme, op.Stage)
+		case core.OpBroadcast:
+			out = e.cluster.Broadcast(vals[op.Inputs[0]], op.Stage)
+		case core.OpTranspose:
+			if op.CommBytes > 0 {
+				// Baseline transpose job: shuffle-based.
+				out = e.cluster.ShuffleTranspose(vals[op.Inputs[0]], op.Stage)
+			} else {
+				out = e.cluster.Transpose(vals[op.Inputs[0]])
+			}
+		case core.OpExtract:
+			out, err = e.cluster.Extract(vals[op.Inputs[0]], plan.Value(op.Output).Scheme)
+		case core.OpCompute:
+			out, err = e.compute(plan, op, vals, params)
+		default:
+			return fmt.Errorf("engine: op %d has unexpected kind %v", i, op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("engine: op %d (%s): %w", i, op.Kind, err)
+		}
+		if op.Output >= 0 {
+			if out == nil {
+				return fmt.Errorf("engine: op %d produced no value", i)
+			}
+			vals[op.Output] = out
+		}
+	}
+	e.cacheLeafInstances(plan, vals)
+	return e.commitAssignments(plan, vals)
+}
+
+// cacheLeafInstances merges the repartitioned instances of input variables
+// back into the session, modelling Spark's RDD cache: once DMac has, e.g.,
+// the Column scheme of the link matrix, later iterations reference it
+// without communication (Section 6.4). Variables reassigned by this program
+// are skipped — their data changed, so assignment handles them.
+func (e *Engine) cacheLeafInstances(plan *core.Plan, vals []*dist.DistMatrix) {
+	assigned := make(map[string]bool)
+	for _, a := range plan.Program.Assignments() {
+		assigned[a.Name] = true
+	}
+	for _, op := range plan.Ops {
+		if op.Kind != core.OpLoad && op.Kind != core.OpVar {
+			continue
+		}
+		name := op.Node.Name
+		if assigned[name] {
+			continue
+		}
+		vs := e.vars[name]
+		if vs == nil {
+			continue
+		}
+		for _, v := range plan.Values {
+			dm := vals[v.ID]
+			if dm == nil || v.Matrix != op.Node.ID || v.Transposed || v.Scheme == dep.SchemeNone {
+				continue
+			}
+			if _, ok := vs.instances[v.Scheme]; !ok {
+				vs.instances[v.Scheme] = dm
+			}
+		}
+	}
+}
+
+// leafInstance resolves an OpLoad/OpVar to a session instance with the
+// scheme the plan expects.
+func (e *Engine) leafInstance(op *core.Op, plan *core.Plan) (*dist.DistMatrix, error) {
+	name := op.Node.Name
+	vs, ok := e.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("no bound matrix %q", name)
+	}
+	if vs.rows != op.Node.Rows || vs.cols != op.Node.Cols {
+		return nil, fmt.Errorf("%q is %dx%d, program declares %dx%d",
+			name, vs.rows, vs.cols, op.Node.Rows, op.Node.Cols)
+	}
+	scheme := plan.Value(op.Output).Scheme
+	inst, ok := vs.instances[scheme]
+	if !ok {
+		return nil, fmt.Errorf("%q has no cached instance with scheme %s", name, scheme)
+	}
+	return inst, nil
+}
+
+// compute executes an OpCompute with its chosen strategy.
+func (e *Engine) compute(plan *core.Plan, op *core.Op, vals []*dist.DistMatrix, params map[string]float64) (*dist.DistMatrix, error) {
+	n := op.Node
+	in := func(i int) *dist.DistMatrix { return vals[op.Inputs[i]] }
+	switch n.Kind {
+	case expr.KindMul:
+		var strat dist.MulStrategy
+		switch op.Strategy {
+		case core.RMM1:
+			strat = dist.RMM1
+		case core.RMM2:
+			strat = dist.RMM2
+		case core.CPMM:
+			strat = dist.CPMM
+		default:
+			return nil, fmt.Errorf("multiplication with strategy %s", op.Strategy)
+		}
+		outScheme := dep.SchemeNone
+		if op.Strategy == core.CPMM {
+			outScheme = plan.Value(op.Output).Scheme
+		}
+		return e.cluster.Multiply(in(0), in(1), strat, outScheme, op.Stage)
+	case expr.KindCell:
+		return e.cluster.Cellwise(n.BinOp, in(0), in(1))
+	case expr.KindScalar:
+		c := n.Const
+		if n.Param != "" {
+			v, ok := params[n.Param]
+			if !ok {
+				return nil, fmt.Errorf("missing parameter %q", n.Param)
+			}
+			c = v
+		}
+		return e.cluster.Scalar(n.ScalarOp, in(0), c)
+	case expr.KindUFunc:
+		return e.cluster.Apply(n.UFunc, in(0))
+	case expr.KindSum:
+		e.scalars[op.ScalarName] = e.cluster.Sum(in(0), op.Stage)
+		return nil, nil
+	case expr.KindNorm2:
+		e.scalars[op.ScalarName] = e.cluster.Norm2(in(0), op.Stage)
+		return nil, nil
+	case expr.KindValue:
+		v, err := e.cluster.Value(in(0), op.Stage)
+		if err != nil {
+			return nil, err
+		}
+		e.scalars[op.ScalarName] = v
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("compute with node kind %v", n.Kind)
+	}
+}
+
+// commitAssignments folds the program's assignments into the session. Every
+// materialized instance of the assigned matrix is kept, so the next program
+// execution sees all cached schemes (this is how DMac reuses, e.g., both
+// W(r) and W(b) across GNMF iterations).
+func (e *Engine) commitAssignments(plan *core.Plan, vals []*dist.DistMatrix) error {
+	for _, a := range plan.Program.Assignments() {
+		node := a.Ref.Node
+		instances := make(map[dep.Scheme]*dist.DistMatrix)
+		for _, v := range plan.Values {
+			dm := vals[v.ID]
+			if v.Matrix != node.ID || dm == nil {
+				continue
+			}
+			if v.Transposed != a.Ref.Transposed {
+				// The cached instance is the transpose of what the program
+				// assigns; transpose locally (free) to store the assigned
+				// orientation.
+				dm = e.cluster.Transpose(dm)
+			}
+			if _, ok := instances[dm.Scheme]; !ok && dm.Scheme != dep.SchemeNone {
+				instances[dm.Scheme] = dm
+			}
+		}
+		if len(instances) == 0 {
+			// Fall back to the primary value even if hash-partitioned.
+			id, ok := plan.NodeValue[node.ID]
+			if !ok || vals[id] == nil {
+				return fmt.Errorf("engine: assignment %q has no materialized value", a.Name)
+			}
+			instances[vals[id].Scheme] = vals[id]
+		}
+		rows, cols := a.Ref.Rows(), a.Ref.Cols()
+		e.vars[a.Name] = &varState{rows: rows, cols: cols, instances: instances}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmac/internal/dist"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+)
+
+// randomExecProgram builds a random valid program plus dense positive data
+// for its leaves, for cross-engine execution equivalence fuzzing.
+func randomExecProgram(rng *rand.Rand, bs int) (*expr.Program, map[string]*matrix.Grid, []string, []string) {
+	dims := []int{3, 5, 7}
+	dim := func() int { return dims[rng.Intn(len(dims))] }
+	p := expr.NewProgram()
+	data := make(map[string]*matrix.Grid)
+	var pool []expr.Ref
+
+	nLeaves := 2 + rng.Intn(2)
+	for i := 0; i < nLeaves; i++ {
+		name := fmt.Sprintf("M%d", i)
+		r, c := dim(), dim()
+		ref := p.Var(name, r, c, 1)
+		pool = append(pool, ref)
+		g := matrix.NewDenseGrid(r, c, bs)
+		for ri := 0; ri < r; ri++ {
+			for ci := 0; ci < c; ci++ {
+				g.Set(ri, ci, 0.2+rng.Float64())
+			}
+		}
+		data[name] = g
+	}
+
+	pick := func() expr.Ref {
+		r := pool[rng.Intn(len(pool))]
+		if rng.Intn(3) == 0 {
+			r = r.T()
+		}
+		return r
+	}
+	var scalars []string
+	nOps := 3 + rng.Intn(8)
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(6) {
+		case 0, 1:
+			var a, b expr.Ref
+			found := false
+			for try := 0; try < 20 && !found; try++ {
+				a, b = pick(), pick()
+				found = a.Cols() == b.Rows()
+			}
+			if found {
+				pool = append(pool, p.Mul(a, b))
+			}
+		case 2:
+			var a, b expr.Ref
+			found := false
+			for try := 0; try < 20 && !found; try++ {
+				a, b = pick(), pick()
+				found = a.Rows() == b.Rows() && a.Cols() == b.Cols()
+			}
+			if found {
+				if rng.Intn(2) == 0 {
+					pool = append(pool, p.Add(a, b))
+				} else {
+					pool = append(pool, p.CellMul(a, b))
+				}
+			}
+		case 3:
+			pool = append(pool, p.Scalar(matrix.ScalarMul, pick(), 0.5+rng.Float64()))
+		case 4:
+			name := fmt.Sprintf("s%d", i)
+			p.Sum(name, pick())
+			scalars = append(scalars, name)
+		case 5:
+			// Element-wise functions that are safe on any real input.
+			funcs := []matrix.UFunc{matrix.FuncSigmoid, matrix.FuncAbs, matrix.FuncSign}
+			pool = append(pool, p.Func(funcs[rng.Intn(len(funcs))], pick()))
+		}
+	}
+	var outs []string
+	for i := 0; i < 2 && i < len(pool); i++ {
+		name := fmt.Sprintf("out%d", i)
+		p.Assign(name, pool[len(pool)-1-i])
+		outs = append(outs, name)
+	}
+	return p, data, outs, scalars
+}
+
+// TestFuzzExecutionEquivalence runs random programs on all three engines —
+// twice each, so session scheme caching is exercised — and demands
+// identical results.
+func TestFuzzExecutionEquivalence(t *testing.T) {
+	const bs = 4
+	cfg := dist.Config{Workers: 3, LocalParallelism: 2}
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed + 5000))
+		prog, data, outs, scalars := randomExecProgram(rng, bs)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		type result struct {
+			grids   map[string]*matrix.Grid
+			scalars map[string]float64
+		}
+		results := map[Planner]result{}
+		for _, planner := range []Planner{Local, DMac, SystemMLS} {
+			e := New(planner, cfg, bs)
+			for name, g := range data {
+				if err := e.Bind(name, g.Clone()); err != nil {
+					t.Fatalf("seed %d %s: %v", seed, planner, err)
+				}
+			}
+			for iter := 0; iter < 2; iter++ {
+				if _, err := e.Run(prog, nil); err != nil {
+					t.Fatalf("seed %d %s iter %d: %v\nprogram nodes: %d", seed, planner, iter, err, len(prog.Nodes()))
+				}
+			}
+			res := result{grids: map[string]*matrix.Grid{}, scalars: map[string]float64{}}
+			for _, name := range outs {
+				g, ok := e.Grid(name)
+				if !ok {
+					t.Fatalf("seed %d %s: output %s missing", seed, planner, name)
+				}
+				res.grids[name] = g
+			}
+			for _, name := range scalars {
+				v, ok := e.Scalar(name)
+				if !ok {
+					t.Fatalf("seed %d %s: scalar %s missing", seed, planner, name)
+				}
+				res.scalars[name] = v
+			}
+			results[planner] = res
+		}
+		ref := results[Local]
+		for _, planner := range []Planner{DMac, SystemMLS} {
+			got := results[planner]
+			for name, g := range ref.grids {
+				if !matrix.GridEqual(got.grids[name], g, 1e-8) {
+					t.Errorf("seed %d: %s output %s differs from local", seed, planner, name)
+				}
+			}
+			for name, v := range ref.scalars {
+				if d := got.scalars[name] - v; math.Abs(d) > 1e-6*(1+math.Abs(v)) {
+					t.Errorf("seed %d: %s scalar %s = %v, local %v", seed, planner, name, got.scalars[name], v)
+				}
+			}
+		}
+	}
+}

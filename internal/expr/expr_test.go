@@ -1,0 +1,305 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"dmac/internal/matrix"
+)
+
+// buildGNMFIteration constructs the H-update of Code 1:
+// H = H * (Wᵀ V) / (Wᵀ W %*% H).
+func buildGNMFIteration(t *testing.T) (*Program, Ref) {
+	t.Helper()
+	p := NewProgram()
+	V := p.Load("V", 1000, 800, 0.01)
+	W := p.Var("W", 1000, 20, 1)
+	H := p.Var("H", 20, 800, 1)
+	WtV := p.Mul(W.T(), V)
+	WtW := p.Mul(W.T(), W)
+	WtWH := p.Mul(WtW, H)
+	num := p.CellMul(H, WtV)
+	newH := p.CellDiv(num, WtWH)
+	p.Assign("H", newH)
+	return p, newH
+}
+
+func TestBuilderShapesAndSparsity(t *testing.T) {
+	p, newH := buildGNMFIteration(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if newH.Rows() != 20 || newH.Cols() != 800 {
+		t.Errorf("result shape %dx%d, want 20x800", newH.Rows(), newH.Cols())
+	}
+	nodes := p.Nodes()
+	if len(nodes) != 8 {
+		t.Fatalf("node count = %d, want 8", len(nodes))
+	}
+	// Multiplication output has worst-case sparsity 1.
+	if nodes[3].Sparsity != 1 {
+		t.Errorf("mul sparsity = %v, want 1", nodes[3].Sparsity)
+	}
+}
+
+func TestRefTranspose(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 3, 7, 1)
+	at := a.T()
+	if at.Rows() != 7 || at.Cols() != 3 {
+		t.Errorf("transpose shape %dx%d, want 7x3", at.Rows(), at.Cols())
+	}
+	if !at.Transposed || at.T().Transposed {
+		t.Error("T() must toggle the flag")
+	}
+	if a.String() != "m0" || at.String() != "m0ᵀ" {
+		t.Errorf("Ref strings: %q %q", a, at)
+	}
+	if (Ref{}).String() != "m?" {
+		t.Error("nil ref string")
+	}
+}
+
+func TestWorstCaseSparsityPropagation(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 10, 10, 0.3)
+	b := p.Load("B", 10, 10, 0.4)
+	sum := p.Add(a, b)
+	if got := sum.Node.Sparsity; got != 0.7 {
+		t.Errorf("add sparsity = %v, want 0.7", got)
+	}
+	c := p.Load("C", 10, 10, 0.8)
+	sat := p.Add(sum, c)
+	if got := sat.Node.Sparsity; got != 1 {
+		t.Errorf("saturating add sparsity = %v, want 1", got)
+	}
+	mul := p.Mul(a, b)
+	if mul.Node.Sparsity != 1 {
+		t.Errorf("mul sparsity = %v, want 1", mul.Node.Sparsity)
+	}
+	sc := p.Scalar(matrix.ScalarMul, a, 5)
+	if sc.Node.Sparsity != 0.3 {
+		t.Errorf("zero-preserving scalar op changed sparsity: %v", sc.Node.Sparsity)
+	}
+	sc2 := p.Scalar(matrix.ScalarAdd, a, 5)
+	if sc2.Node.Sparsity != 1 {
+		t.Errorf("densifying scalar op sparsity = %v, want 1", sc2.Node.Sparsity)
+	}
+	pp := p.ScalarParam(matrix.ScalarMul, a, "alpha")
+	if pp.Node.Sparsity != 0.3 {
+		t.Errorf("param scalar-mul sparsity = %v, want 0.3", pp.Node.Sparsity)
+	}
+	pa := p.ScalarParam(matrix.ScalarAdd, a, "beta")
+	if pa.Node.Sparsity != 1 {
+		t.Errorf("param scalar-add sparsity = %v, want 1", pa.Node.Sparsity)
+	}
+}
+
+func TestBuilderPanicsOnShapeMismatch(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	p := NewProgram()
+	a := p.Load("A", 3, 4, 1)
+	b := p.Load("B", 3, 4, 1)
+	mustPanic("mul inner mismatch", func() { p.Mul(a, b) })
+	mustPanic("cell shape mismatch", func() { p.Add(a, b.T()) })
+	mustPanic("value on non-1x1", func() { p.Value("v", a) })
+	mustPanic("empty param", func() { p.ScalarParam(matrix.ScalarMul, a, "") })
+	mustPanic("empty assign", func() { p.Assign("", a) })
+	mustPanic("bad dims", func() { p.Load("Z", 0, 5, 1) })
+	mustPanic("empty scalar name", func() { p.Sum("", a) })
+}
+
+func TestAggregatesAndScalarOuts(t *testing.T) {
+	p := NewProgram()
+	r := p.Var("r", 100, 1, 1)
+	rr := p.CellMul(r, r)
+	p.Sum("norm_r2", rr)
+	q := p.Var("q", 100, 1, 1)
+	pq := p.Mul(r.T(), q)
+	p.Value("pq", pq)
+	p.Norm2("rn", r)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	outs := p.ScalarOuts()
+	if len(outs) != 3 {
+		t.Fatalf("scalar outs = %d, want 3", len(outs))
+	}
+	if outs[0].Name != "norm_r2" || outs[0].Node.Kind != KindSum {
+		t.Error("sum output wrong")
+	}
+	if outs[1].Name != "pq" || outs[1].Node.Kind != KindValue {
+		t.Error("value output wrong")
+	}
+	if outs[2].Name != "rn" || outs[2].Node.Kind != KindNorm2 {
+		t.Error("norm2 output wrong")
+	}
+	for _, o := range outs {
+		if !o.Node.Kind.IsAggregate() {
+			t.Errorf("%s should be aggregate", o.Node.Kind)
+		}
+	}
+	if KindMul.IsAggregate() || KindCell.IsAggregate() {
+		t.Error("matrix kinds must not be aggregates")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p, _ := buildGNMFIteration(t)
+	// Corrupt an ID.
+	p.nodes[2].ID = 99
+	if err := p.Validate(); err == nil {
+		t.Error("expected ID error")
+	}
+	p.nodes[2].ID = 2
+	// Forward reference.
+	p.nodes[3].Inputs[1] = Ref{Node: p.nodes[7]}
+	if err := p.Validate(); err == nil {
+		t.Error("expected forward-reference error")
+	}
+}
+
+func TestValidateDuplicateAssignment(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 2, 2, 1)
+	p.Assign("X", a)
+	p.Assign("X", a)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate-assignment error, got %v", err)
+	}
+}
+
+func TestOperatorOrderPrefersMultiplication(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 4, 4, 1)
+	b := p.Load("B", 4, 4, 1)
+	sum := p.Add(a, b)  // node 2: ready as soon as leaves are scheduled
+	prod := p.Mul(a, b) // node 3: ready at the same time
+	p.Assign("S", sum)
+	p.Assign("P", prod)
+	order := p.OperatorOrder()
+	pos := make(map[int]int, len(order))
+	for i, idx := range order {
+		pos[idx] = i
+	}
+	if pos[3] > pos[2] {
+		t.Errorf("multiplication (node 3) scheduled at %d, after cell op at %d", pos[3], pos[2])
+	}
+	// Order must be a valid topological order.
+	for i, idx := range order {
+		for _, in := range p.Nodes()[idx].Inputs {
+			if pos[int(in.Node.ID)] >= i {
+				t.Fatalf("node %d scheduled before its input m%d", idx, in.Node.ID)
+			}
+		}
+	}
+}
+
+func TestOperatorOrderStableAndComplete(t *testing.T) {
+	p, _ := buildGNMFIteration(t)
+	o1 := p.OperatorOrder()
+	o2 := p.OperatorOrder()
+	if len(o1) != len(p.Nodes()) {
+		t.Fatalf("order length %d, want %d", len(o1), len(p.Nodes()))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("OperatorOrder is not deterministic")
+		}
+	}
+	seen := make(map[int]bool)
+	for _, idx := range o1 {
+		if seen[idx] {
+			t.Fatal("node scheduled twice")
+		}
+		seen[idx] = true
+	}
+}
+
+func TestNodeLabels(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 2, 2, 1)
+	v := p.Var("X", 2, 2, 1)
+	m := p.Mul(a, v)
+	c := p.Add(a, v)
+	s := p.Scalar(matrix.ScalarMul, a, 2.5)
+	sp := p.ScalarParam(matrix.ScalarAdd, a, "alpha")
+	p.Sum("s", c)
+	cases := []struct {
+		n    *Node
+		want string
+	}{
+		{a.Node, "load(A)"},
+		{v.Node, "var(X)"},
+		{m.Node, "m0 %*% m1"},
+		{c.Node, "m0 + m1"},
+		{s.Node, "m0 *c(2.5)"},
+		{sp.Node, "m0 +c(alpha)"},
+	}
+	for _, c := range cases {
+		if got := c.n.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.HasPrefix(p.Nodes()[6].Label(), "sum(") {
+		t.Errorf("sum label = %q", p.Nodes()[6].Label())
+	}
+}
+
+func TestUFuncBuilder(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 4, 4, 0.3)
+	sq := p.Func(matrix.FuncSqrt, a)
+	if sq.Node.Kind != KindUFunc || sq.Node.UFunc != matrix.FuncSqrt {
+		t.Error("Func node malformed")
+	}
+	if sq.Node.Sparsity != 0.3 {
+		t.Errorf("sqrt should preserve sparsity, got %v", sq.Node.Sparsity)
+	}
+	sig := p.Func(matrix.FuncSigmoid, a)
+	if sig.Node.Sparsity != 1 {
+		t.Errorf("sigmoid should densify, got %v", sig.Node.Sparsity)
+	}
+	if sig.Node.Label() != "sigmoid(m0)" {
+		t.Errorf("label = %q", sig.Node.Label())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid function panics at build time and fails validation if forced.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid UFunc")
+		}
+	}()
+	p.Func(matrix.UFunc(99), a)
+}
+
+func TestValidateRejectsInvalidUFunc(t *testing.T) {
+	p := NewProgram()
+	a := p.Load("A", 2, 2, 1)
+	f := p.Func(matrix.FuncAbs, a)
+	f.Node.UFunc = matrix.UFunc(42)
+	if err := p.Validate(); err == nil {
+		t.Error("expected validation error for corrupted UFunc")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindLoad, KindVar, KindMul, KindCell, KindScalar, KindUFunc, KindSum, KindValue, KindNorm2} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d missing name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(42).String(), "Kind(") {
+		t.Error("unknown kind must print")
+	}
+}

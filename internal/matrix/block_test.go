@@ -1,0 +1,390 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, rows, cols int) *DenseBlock {
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+func randSparse(rng *rand.Rand, rows, cols int, sparsity float64) *CSCBlock {
+	var coords []Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < sparsity {
+				coords = append(coords, Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return NewCSC(rows, cols, coords)
+}
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(0, 0, 1)
+	d.Set(1, 2, -4.5)
+	if got := d.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := d.At(1, 2); got != -4.5 {
+		t.Errorf("At(1,2) = %v, want -4.5", got)
+	}
+	if got := d.At(0, 1); got != 0 {
+		t.Errorf("At(0,1) = %v, want 0", got)
+	}
+	if d.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", d.NNZ())
+	}
+	if d.IsSparse() {
+		t.Error("dense block reported sparse")
+	}
+	if d.Rows() != 2 || d.Cols() != 3 {
+		t.Errorf("shape = %dx%d, want 2x3", d.Rows(), d.Cols())
+	}
+}
+
+func TestDenseTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := randDense(rng, 3, 5)
+	tr := d.Transpose()
+	if tr.Rows() != 5 || tr.Cols() != 3 {
+		t.Fatalf("transpose shape = %dx%d, want 5x3", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if d.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Double transpose is identity.
+	if !Equal(d, tr.Transpose(), 0) {
+		t.Error("double transpose is not identity")
+	}
+}
+
+func TestDenseCloneIsDeep(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 0, 7)
+	c := d.Clone().(*DenseBlock)
+	c.Set(0, 0, 9)
+	if d.At(0, 0) != 7 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestDenseScaleAndScalarOps(t *testing.T) {
+	d := NewDense(1, 3)
+	copy(d.Data, []float64{1, 2, 3})
+	s := d.Scale(2)
+	want := []float64{2, 4, 6}
+	for i, w := range want {
+		if s.(*DenseBlock).Data[i] != w {
+			t.Errorf("Scale[%d] = %v, want %v", i, s.(*DenseBlock).Data[i], w)
+		}
+	}
+	if d.Data[0] != 1 {
+		t.Error("Scale mutated the receiver")
+	}
+	d.ScaleInPlace(10)
+	if d.Data[2] != 30 {
+		t.Errorf("ScaleInPlace: got %v, want 30", d.Data[2])
+	}
+	d.AddScalarInPlace(1)
+	if d.Data[0] != 11 {
+		t.Errorf("AddScalarInPlace: got %v, want 11", d.Data[0])
+	}
+	d.Zero()
+	if d.Sum() != 0 {
+		t.Error("Zero did not clear block")
+	}
+}
+
+func TestCSCConstructionAndAt(t *testing.T) {
+	// The example of Figure 5 in the paper (4x4, 7 non-zeros).
+	coords := []Coord{
+		{1, 0, 2}, {0, 1, 3}, {2, 1, 2}, {0, 2, 2}, {1, 2, 4}, {3, 2, 2}, {2, 3, 1},
+	}
+	s := NewCSC(4, 4, coords)
+	if s.NNZ() != 7 {
+		t.Fatalf("NNZ = %d, want 7", s.NNZ())
+	}
+	wantColPtr := []int32{0, 1, 3, 6, 7}
+	for i, w := range wantColPtr {
+		if s.ColPtr[i] != w {
+			t.Errorf("ColPtr[%d] = %d, want %d", i, s.ColPtr[i], w)
+		}
+	}
+	for _, c := range coords {
+		if got := s.At(c.Row, c.Col); got != c.Val {
+			t.Errorf("At(%d,%d) = %v, want %v", c.Row, c.Col, got, c.Val)
+		}
+	}
+	if got := s.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+	if s.Rows() != 4 || s.Cols() != 4 || !s.IsSparse() {
+		t.Error("shape or IsSparse wrong")
+	}
+}
+
+func TestCSCDuplicateCoordsSummed(t *testing.T) {
+	s := NewCSC(2, 2, []Coord{{0, 0, 1}, {0, 0, 2.5}, {1, 1, -1}})
+	if got := s.At(0, 0); got != 3.5 {
+		t.Errorf("duplicate sum = %v, want 3.5", got)
+	}
+	if s.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", s.NNZ())
+	}
+}
+
+func TestCSCDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSparse(rng, 13, 7, 0.3)
+	d := s.Dense()
+	if !Equal(s, d, 0) {
+		t.Error("Dense() does not match CSC contents")
+	}
+	// Rebuild CSC from the dense coords and compare.
+	var coords []Coord
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 7; j++ {
+			if v := d.At(i, j); v != 0 {
+				coords = append(coords, Coord{i, j, v})
+			}
+		}
+	}
+	s2 := NewCSC(13, 7, coords)
+	if !Equal(s, s2, 0) {
+		t.Error("CSC -> dense -> CSC round trip mismatch")
+	}
+}
+
+func TestCSCTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSparse(rng, 9, 14, 0.25)
+	tr := s.Transpose()
+	if tr.Rows() != 14 || tr.Cols() != 9 {
+		t.Fatalf("transpose shape = %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 14; j++ {
+			if s.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !Equal(s, tr.Transpose(), 0) {
+		t.Error("double transpose is not identity")
+	}
+	if tr.(*CSCBlock).NNZ() != s.NNZ() {
+		t.Error("transpose changed NNZ")
+	}
+}
+
+func TestCSCCoordsAndEachNZ(t *testing.T) {
+	coords := []Coord{{0, 1, 5}, {2, 0, 3}}
+	s := NewCSC(3, 2, coords)
+	got := s.Coords()
+	if len(got) != 2 {
+		t.Fatalf("Coords len = %d", len(got))
+	}
+	// Column-major order: (2,0) before (0,1).
+	if got[0] != (Coord{2, 0, 3}) || got[1] != (Coord{0, 1, 5}) {
+		t.Errorf("Coords = %v", got)
+	}
+	n := 0
+	s.EachNZ(func(i, j int, v float64) { n++ })
+	if n != 2 {
+		t.Errorf("EachNZ visited %d, want 2", n)
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	s := NewCSC(4, 5, []Coord{{0, 0, 1}, {1, 1, 1}})
+	if got := Sparsity(s); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Sparsity = %v, want 0.1", got)
+	}
+	if got := Sparsity(NewCSCEmpty(0, 0)); got != 0 {
+		t.Errorf("Sparsity of empty = %v", got)
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	d := NewDense(10, 20)
+	if got := d.MemBytes(); got != 8*10*20 {
+		t.Errorf("dense MemBytes = %d, want %d", got, 8*10*20)
+	}
+	s := NewCSC(10, 20, []Coord{{0, 0, 1}, {5, 19, 2}})
+	want := int64(4*(20+1) + 12*2)
+	if got := s.MemBytes(); got != want {
+		t.Errorf("sparse MemBytes = %d, want %d", got, want)
+	}
+}
+
+func TestGridMemBytesMatchesEq2Shape(t *testing.T) {
+	// Eq. 2: smaller blocks duplicate the column-pointer array, so memory
+	// must be monotonically non-increasing in the block size.
+	rows, cols, s := 10000, 10000, 0.001
+	prev := int64(math.MaxInt64)
+	for _, bs := range []int{100, 500, 1000, 5000, 10000} {
+		m := GridMemBytes(rows, cols, s, bs, true)
+		if m > prev {
+			t.Errorf("GridMemBytes increased from %d to %d at bs=%d", prev, m, bs)
+		}
+		prev = m
+	}
+	// Dense accounting ignores the block size.
+	if GridMemBytes(100, 100, 1, 10, false) != DenseMemBytes(100, 100) {
+		t.Error("dense GridMemBytes should equal DenseMemBytes")
+	}
+}
+
+func TestScalarOpsSparsityPreservation(t *testing.T) {
+	s := NewCSC(3, 3, []Coord{{0, 0, 2}, {2, 2, 4}})
+	mul := Scalar(ScalarMul, s, 3)
+	if !mul.IsSparse() {
+		t.Error("ScalarMul should keep block sparse")
+	}
+	if got := mul.At(0, 0); got != 6 {
+		t.Errorf("ScalarMul At(0,0) = %v, want 6", got)
+	}
+	add := Scalar(ScalarAdd, s, 1)
+	if add.IsSparse() {
+		t.Error("ScalarAdd with c!=0 must densify")
+	}
+	if got := add.At(1, 1); got != 1 {
+		t.Errorf("ScalarAdd At(1,1) = %v, want 1", got)
+	}
+	rsub := Scalar(ScalarRSub, s, 10)
+	if got := rsub.At(0, 0); got != 8 {
+		t.Errorf("ScalarRSub At(0,0) = %v, want 8", got)
+	}
+	if got := rsub.At(0, 1); got != 10 {
+		t.Errorf("ScalarRSub At(0,1) = %v, want 10", got)
+	}
+}
+
+func TestCellwiseDense(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	cases := []struct {
+		op   BinOp
+		want []float64
+	}{
+		{OpAdd, []float64{6, 8, 10, 12}},
+		{OpSub, []float64{-4, -4, -4, -4}},
+		{OpCellMul, []float64{5, 12, 21, 32}},
+		{OpCellDiv, []float64{0.2, 2.0 / 6, 3.0 / 7, 0.5}},
+	}
+	for _, c := range cases {
+		got, err := Cellwise(c.op, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if !Equal(got, NewDenseData(2, 2, c.want), 1e-15) {
+			t.Errorf("%v: got %v, want %v", c.op, got.Dense().Data, c.want)
+		}
+	}
+}
+
+func TestCellwiseShapeError(t *testing.T) {
+	a := NewDense(2, 2)
+	b := NewDense(2, 3)
+	if _, err := Cellwise(OpAdd, a, b); err == nil {
+		t.Error("expected shape error")
+	}
+	if err := CellwiseInto(NewDense(2, 2), OpAdd, a, b); err == nil {
+		t.Error("expected shape error from CellwiseInto")
+	}
+}
+
+func TestCellMulSparseSparse(t *testing.T) {
+	a := NewCSC(3, 3, []Coord{{0, 0, 2}, {1, 1, 3}, {2, 2, 4}})
+	b := NewCSC(3, 3, []Coord{{0, 0, 5}, {2, 2, 6}, {0, 2, 9}})
+	got, err := Cellwise(OpCellMul, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSparse() {
+		t.Error("sparse*sparse cell-mul should stay sparse")
+	}
+	if got.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2 (pattern intersection)", got.NNZ())
+	}
+	if got.At(0, 0) != 10 || got.At(2, 2) != 24 {
+		t.Errorf("values wrong: %v %v", got.At(0, 0), got.At(2, 2))
+	}
+}
+
+func TestCellwiseMixedDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSparse(rng, 6, 6, 0.4)
+	d := randDense(rng, 6, 6)
+	for _, op := range []BinOp{OpAdd, OpSub, OpCellMul} {
+		got, err := Cellwise(op, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				want := op.apply(s.At(i, j), d.At(i, j))
+				if math.Abs(got.At(i, j)-want) > 1e-12 {
+					t.Fatalf("op %v at (%d,%d): got %v, want %v", op, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestCellwiseInto(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{4, 3, 2, 1})
+	dst := NewDense(2, 2)
+	if err := CellwiseInto(dst, OpAdd, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dst.Data {
+		if v != 5 {
+			t.Fatalf("CellwiseInto result = %v, want all 5", dst.Data)
+		}
+	}
+}
+
+func TestSumAndFrobenius(t *testing.T) {
+	d := NewDenseData(2, 2, []float64{1, -2, 3, -4})
+	if got := Sum(d); got != -2 {
+		t.Errorf("Sum = %v, want -2", got)
+	}
+	if got := FrobeniusSq(d); got != 30 {
+		t.Errorf("FrobeniusSq = %v, want 30", got)
+	}
+	s := NewCSC(2, 2, []Coord{{0, 0, 3}, {1, 1, 4}})
+	if got := Sum(s); got != 7 {
+		t.Errorf("sparse Sum = %v, want 7", got)
+	}
+	if got := FrobeniusSq(s); got != 25 {
+		t.Errorf("sparse FrobeniusSq = %v, want 25", got)
+	}
+}
+
+func TestBinOpScalarOpStrings(t *testing.T) {
+	if OpAdd.String() != "+" || OpSub.String() != "-" || OpCellMul.String() != "*" || OpCellDiv.String() != "/" {
+		t.Error("BinOp strings wrong")
+	}
+	if BinOp(99).String() != "?" {
+		t.Error("unknown BinOp string")
+	}
+	for _, op := range []ScalarOp{ScalarMul, ScalarAdd, ScalarSub, ScalarDiv, ScalarRSub, ScalarRDiv} {
+		if op.String() == "?c" {
+			t.Errorf("ScalarOp %d has no string", op)
+		}
+	}
+}

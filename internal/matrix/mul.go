@@ -1,0 +1,135 @@
+package matrix
+
+// Block multiplication kernels. MulAddInto is the In-Place primitive of
+// Section 5.3: all block products contributing to the same result block are
+// accumulated directly into that block, so no intermediate buffers are
+// allocated. The kernels specialize on the four density combinations; every
+// multiplication result is dense, matching the worst-case sparsity estimate
+// of Section 5.1 (multiplication output sparsity = 1).
+
+// MulAddInto computes dst += a * b. dst must be an owned dense block of
+// shape a.Rows() x b.Cols().
+func MulAddInto(dst *DenseBlock, a, b Block) error {
+	if err := checkMulShape(a, b); err != nil {
+		return err
+	}
+	if dst.Rows() != a.Rows() || dst.Cols() != b.Cols() {
+		return checkSameShape(dst, NewDense(a.Rows(), b.Cols()))
+	}
+	switch at := a.(type) {
+	case *DenseBlock:
+		switch bt := b.(type) {
+		case *DenseBlock:
+			mulAddDD(dst, at, bt)
+		case *CSCBlock:
+			mulAddDS(dst, at, bt)
+		default:
+			mulAddGeneric(dst, a, b)
+		}
+	case *CSCBlock:
+		switch bt := b.(type) {
+		case *DenseBlock:
+			mulAddSD(dst, at, bt)
+		case *CSCBlock:
+			mulAddSS(dst, at, bt)
+		default:
+			mulAddGeneric(dst, a, b)
+		}
+	default:
+		mulAddGeneric(dst, a, b)
+	}
+	return nil
+}
+
+// Mul allocates and returns a * b as a dense block.
+func Mul(a, b Block) (*DenseBlock, error) {
+	if err := checkMulShape(a, b); err != nil {
+		return nil, err
+	}
+	dst := NewDense(a.Rows(), b.Cols())
+	if err := MulAddInto(dst, a, b); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// mulAddDD is the dense x dense kernel (ikj loop order for cache locality).
+func mulAddDD(dst, a, b *DenseBlock) {
+	n, m, p := a.rows, a.cols, b.cols
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*m : (i+1)*m]
+		drow := dst.Data[i*p : (i+1)*p]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulAddSD computes dst += A*B with sparse A (CSC) and dense B. Column k of
+// A pairs with row k of B: dst[i,:] += A[i,k] * B[k,:].
+func mulAddSD(dst *DenseBlock, a *CSCBlock, b *DenseBlock) {
+	p := b.cols
+	for k := 0; k < a.cols; k++ {
+		brow := b.Data[k*p : (k+1)*p]
+		for idx := a.ColPtr[k]; idx < a.ColPtr[k+1]; idx++ {
+			i := int(a.RowIdx[idx])
+			av := a.Values[idx]
+			drow := dst.Data[i*p : (i+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulAddDS computes dst += A*B with dense A and sparse B (CSC). Column j of
+// B selects columns of A: dst[:,j] += A[:,k] * B[k,j].
+func mulAddDS(dst *DenseBlock, a *DenseBlock, b *CSCBlock) {
+	m, p := a.cols, b.cols
+	for j := 0; j < b.cols; j++ {
+		for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
+			k := int(b.RowIdx[idx])
+			bv := b.Values[idx]
+			for i := 0; i < a.rows; i++ {
+				dst.Data[i*p+j] += a.Data[i*m+k] * bv
+			}
+		}
+	}
+}
+
+// mulAddSS computes dst += A*B with both operands sparse. For every stored
+// B[k,j], scatter column k of A scaled by B[k,j] into dst column j.
+func mulAddSS(dst *DenseBlock, a, b *CSCBlock) {
+	p := dst.cols
+	for j := 0; j < b.cols; j++ {
+		for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
+			k := int(b.RowIdx[idx])
+			bv := b.Values[idx]
+			for ka := a.ColPtr[k]; ka < a.ColPtr[k+1]; ka++ {
+				dst.Data[int(a.RowIdx[ka])*p+j] += a.Values[ka] * bv
+			}
+		}
+	}
+}
+
+// mulAddGeneric is the fallback for unknown Block implementations.
+func mulAddGeneric(dst *DenseBlock, a, b Block) {
+	n, m, p := a.Rows(), a.Cols(), b.Cols()
+	for i := 0; i < n; i++ {
+		for k := 0; k < m; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < p; j++ {
+				dst.Data[i*p+j] += av * b.At(k, j)
+			}
+		}
+	}
+}

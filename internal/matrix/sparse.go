@@ -1,0 +1,199 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSCBlock is a sparse sub-matrix in Compressed Sparse Column format
+// (Section 5.3, Figure 5). Three arrays represent the block: ColPtr[j] is
+// the offset in RowIdx/Values where column j starts, RowIdx holds the row
+// index of each stored element, and Values holds the element values. Stored
+// elements within a column are ordered by row index.
+type CSCBlock struct {
+	rows, cols int
+	// ColPtr has cols+1 entries; column j occupies [ColPtr[j], ColPtr[j+1]).
+	ColPtr []int32
+	// RowIdx holds the row index of each stored element.
+	RowIdx []int32
+	// Values holds the stored element values.
+	Values []float64
+}
+
+// Coord is a single (row, col, value) entry, used to build sparse blocks.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSC builds a CSC block from unordered coordinates. Duplicate (row, col)
+// pairs are summed. Zero-valued coordinates are kept (callers that want them
+// dropped should filter first); this keeps the builder deterministic.
+func NewCSC(rows, cols int, coords []Coord) *CSCBlock {
+	for _, c := range coords {
+		if c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
+			panic(fmt.Sprintf("matrix: coord (%d,%d) outside %dx%d block", c.Row, c.Col, rows, cols))
+		}
+	}
+	sorted := make([]Coord, len(coords))
+	copy(sorted, coords)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Col != sorted[j].Col {
+			return sorted[i].Col < sorted[j].Col
+		}
+		return sorted[i].Row < sorted[j].Row
+	})
+	b := &CSCBlock{rows: rows, cols: cols, ColPtr: make([]int32, cols+1)}
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		v := sorted[i].Val
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		b.RowIdx = append(b.RowIdx, int32(sorted[i].Row))
+		b.Values = append(b.Values, v)
+		b.ColPtr[sorted[i].Col+1]++
+		i = j
+	}
+	for c := 0; c < cols; c++ {
+		b.ColPtr[c+1] += b.ColPtr[c]
+	}
+	return b
+}
+
+// NewCSCEmpty returns an all-zero sparse block.
+func NewCSCEmpty(rows, cols int) *CSCBlock {
+	return &CSCBlock{rows: rows, cols: cols, ColPtr: make([]int32, cols+1)}
+}
+
+// Rows returns the number of rows.
+func (s *CSCBlock) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *CSCBlock) Cols() int { return s.cols }
+
+// NNZ returns the number of stored elements.
+func (s *CSCBlock) NNZ() int { return len(s.Values) }
+
+// At returns the element at (i, j) using binary search within column j.
+func (s *CSCBlock) At(i, j int) float64 {
+	if i < 0 || i >= s.rows || j < 0 || j >= s.cols {
+		panic(fmt.Sprintf("matrix: At(%d,%d) outside %dx%d block", i, j, s.rows, s.cols))
+	}
+	lo, hi := int(s.ColPtr[j]), int(s.ColPtr[j+1])
+	k := lo + sort.Search(hi-lo, func(k int) bool { return s.RowIdx[lo+k] >= int32(i) })
+	if k < hi && s.RowIdx[k] == int32(i) {
+		return s.Values[k]
+	}
+	return 0
+}
+
+// MemBytes implements the sparse branch of the paper's block memory model.
+func (s *CSCBlock) MemBytes() int64 { return SparseMemBytes(s.cols, s.NNZ()) }
+
+// IsSparse reports true for CSC blocks.
+func (s *CSCBlock) IsSparse() bool { return true }
+
+// Dense returns a dense copy of the block.
+func (s *CSCBlock) Dense() *DenseBlock {
+	d := NewDense(s.rows, s.cols)
+	for j := 0; j < s.cols; j++ {
+		for k := s.ColPtr[j]; k < s.ColPtr[j+1]; k++ {
+			d.Data[int(s.RowIdx[k])*s.cols+j] = s.Values[k]
+		}
+	}
+	return d
+}
+
+// Transpose returns the CSC transpose. Transposing CSC yields the CSR view
+// of the same data, which is re-compressed into CSC of the flipped shape via
+// a counting pass (O(nnz + rows)).
+func (s *CSCBlock) Transpose() Block {
+	t := &CSCBlock{
+		rows:   s.cols,
+		cols:   s.rows,
+		ColPtr: make([]int32, s.rows+1),
+		RowIdx: make([]int32, len(s.RowIdx)),
+		Values: make([]float64, len(s.Values)),
+	}
+	// Count entries per original row (= per transposed column).
+	for _, r := range s.RowIdx {
+		t.ColPtr[r+1]++
+	}
+	for i := 0; i < s.rows; i++ {
+		t.ColPtr[i+1] += t.ColPtr[i]
+	}
+	next := make([]int32, s.rows)
+	copy(next, t.ColPtr[:s.rows])
+	for j := 0; j < s.cols; j++ {
+		for k := s.ColPtr[j]; k < s.ColPtr[j+1]; k++ {
+			r := s.RowIdx[k]
+			pos := next[r]
+			next[r]++
+			t.RowIdx[pos] = int32(j)
+			t.Values[pos] = s.Values[k]
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy of s.
+func (s *CSCBlock) Clone() Block {
+	c := &CSCBlock{
+		rows:   s.rows,
+		cols:   s.cols,
+		ColPtr: make([]int32, len(s.ColPtr)),
+		RowIdx: make([]int32, len(s.RowIdx)),
+		Values: make([]float64, len(s.Values)),
+	}
+	copy(c.ColPtr, s.ColPtr)
+	copy(c.RowIdx, s.RowIdx)
+	copy(c.Values, s.Values)
+	return c
+}
+
+// Scale returns a new sparse block with every stored element multiplied by
+// alpha.
+func (s *CSCBlock) Scale(alpha float64) Block {
+	c := s.Clone().(*CSCBlock)
+	for i := range c.Values {
+		c.Values[i] *= alpha
+	}
+	return c
+}
+
+// Sum returns the sum of all stored elements.
+func (s *CSCBlock) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}
+
+// EachNZ calls fn for every stored element in column-major order.
+func (s *CSCBlock) EachNZ(fn func(i, j int, v float64)) {
+	for j := 0; j < s.cols; j++ {
+		for k := s.ColPtr[j]; k < s.ColPtr[j+1]; k++ {
+			fn(int(s.RowIdx[k]), j, s.Values[k])
+		}
+	}
+}
+
+// Coords returns the stored elements as a coordinate list, in column-major
+// order. Useful for re-blocking and for tests.
+func (s *CSCBlock) Coords() []Coord {
+	out := make([]Coord, 0, s.NNZ())
+	s.EachNZ(func(i, j int, v float64) { out = append(out, Coord{Row: i, Col: j, Val: v}) })
+	return out
+}
+
+// Sparsity returns NNZ / (rows*cols), the fraction of stored elements.
+func Sparsity(b Block) float64 {
+	cells := b.Rows() * b.Cols()
+	if cells == 0 {
+		return 0
+	}
+	return float64(b.NNZ()) / float64(cells)
+}

@@ -1,0 +1,117 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// UFunc is a named element-wise unary function. Functions are enumerated
+// (rather than arbitrary closures) so programs stay serializable and plans
+// deterministic.
+type UFunc int
+
+// The element-wise functions supported by DMac programs.
+const (
+	// FuncSigmoid is 1/(1+e^-x) (logistic regression).
+	FuncSigmoid UFunc = iota
+	// FuncExp is e^x.
+	FuncExp
+	// FuncLog is the natural logarithm.
+	FuncLog
+	// FuncSqrt is the square root.
+	FuncSqrt
+	// FuncAbs is the absolute value.
+	FuncAbs
+	// FuncSign is -1/0/+1.
+	FuncSign
+)
+
+// String names the function.
+func (f UFunc) String() string {
+	switch f {
+	case FuncSigmoid:
+		return "sigmoid"
+	case FuncExp:
+		return "exp"
+	case FuncLog:
+		return "log"
+	case FuncSqrt:
+		return "sqrt"
+	case FuncAbs:
+		return "abs"
+	case FuncSign:
+		return "sign"
+	default:
+		return fmt.Sprintf("UFunc(%d)", int(f))
+	}
+}
+
+// Valid reports whether f is a known function.
+func (f UFunc) Valid() bool { return f >= FuncSigmoid && f <= FuncSign }
+
+// Apply evaluates the function at x.
+func (f UFunc) Apply(x float64) float64 {
+	switch f {
+	case FuncSigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case FuncExp:
+		return math.Exp(x)
+	case FuncLog:
+		return math.Log(x)
+	case FuncSqrt:
+		return math.Sqrt(x)
+	case FuncAbs:
+		return math.Abs(x)
+	case FuncSign:
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	default:
+		panic("matrix: unknown UFunc")
+	}
+}
+
+// SparsityPreserving reports whether f maps zero to zero, allowing sparse
+// blocks to stay sparse.
+func (f UFunc) SparsityPreserving() bool {
+	switch f {
+	case FuncSqrt, FuncAbs, FuncSign:
+		return true
+	default: // sigmoid(0)=0.5, exp(0)=1, log(0)=-Inf
+		return false
+	}
+}
+
+// ApplyBlock returns a new block with f applied to every cell. Sparse blocks
+// stay sparse when f preserves zeros; otherwise the result densifies.
+func ApplyBlock(f UFunc, b Block) Block {
+	if s, ok := b.(*CSCBlock); ok && f.SparsityPreserving() {
+		out := s.Clone().(*CSCBlock)
+		for i := range out.Values {
+			out.Values[i] = f.Apply(out.Values[i])
+		}
+		return out
+	}
+	d := b.Dense()
+	out := NewDense(b.Rows(), b.Cols())
+	for i, v := range d.Data {
+		out.Data[i] = f.Apply(v)
+	}
+	return out
+}
+
+// ApplyGrid applies f to every block of a grid.
+func ApplyGrid(f UFunc, g *Grid) *Grid {
+	out := NewGrid(g.Rows(), g.Cols(), g.BlockSize())
+	for bi := 0; bi < g.BlockRows(); bi++ {
+		for bj := 0; bj < g.BlockCols(); bj++ {
+			out.SetBlock(bi, bj, ApplyBlock(f, g.Block(bi, bj)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUFuncApply(t *testing.T) {
+	cases := []struct {
+		f    UFunc
+		x    float64
+		want float64
+	}{
+		{FuncSigmoid, 0, 0.5},
+		{FuncExp, 0, 1},
+		{FuncExp, 1, math.E},
+		{FuncLog, math.E, 1},
+		{FuncSqrt, 9, 3},
+		{FuncAbs, -4, 4},
+		{FuncSign, -7, -1},
+		{FuncSign, 0, 0},
+		{FuncSign, 2.5, 1},
+	}
+	for _, c := range cases {
+		if got := c.f.Apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s(%v) = %v, want %v", c.f, c.x, got, c.want)
+		}
+	}
+	if math.Abs(FuncSigmoid.Apply(100)-1) > 1e-9 {
+		t.Error("sigmoid should saturate at 1")
+	}
+}
+
+func TestUFuncValidityAndNames(t *testing.T) {
+	for _, f := range []UFunc{FuncSigmoid, FuncExp, FuncLog, FuncSqrt, FuncAbs, FuncSign} {
+		if !f.Valid() {
+			t.Errorf("%s should be valid", f)
+		}
+		if f.String() == "" {
+			t.Errorf("UFunc %d has no name", f)
+		}
+	}
+	if UFunc(-1).Valid() || UFunc(99).Valid() {
+		t.Error("out-of-range UFuncs must be invalid")
+	}
+}
+
+func TestUFuncSparsityPreservation(t *testing.T) {
+	preserving := []UFunc{FuncSqrt, FuncAbs, FuncSign}
+	densifying := []UFunc{FuncSigmoid, FuncExp, FuncLog}
+	for _, f := range preserving {
+		if !f.SparsityPreserving() {
+			t.Errorf("%s maps 0 to 0 and should preserve sparsity", f)
+		}
+		if f.Apply(0) != 0 {
+			t.Errorf("%s(0) = %v, claimed zero-preserving", f, f.Apply(0))
+		}
+	}
+	for _, f := range densifying {
+		if f.SparsityPreserving() {
+			t.Errorf("%s must densify (maps 0 to %v)", f, f.Apply(0))
+		}
+	}
+}
+
+func TestApplyBlockSparseAndDense(t *testing.T) {
+	s := NewCSC(3, 3, []Coord{{0, 0, 4}, {2, 1, -9}})
+	abs := ApplyBlock(FuncAbs, s)
+	if !abs.IsSparse() {
+		t.Error("abs of sparse block should stay sparse")
+	}
+	if abs.At(2, 1) != 9 || abs.At(0, 0) != 4 || abs.At(1, 1) != 0 {
+		t.Error("abs values wrong")
+	}
+	sig := ApplyBlock(FuncSigmoid, s)
+	if sig.IsSparse() {
+		t.Error("sigmoid must densify")
+	}
+	if math.Abs(sig.At(1, 1)-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", sig.At(1, 1))
+	}
+	d := NewDenseData(2, 2, []float64{1, 4, 9, 16})
+	sq := ApplyBlock(FuncSqrt, d)
+	for i, want := range []float64{1, 2, 3, 4} {
+		if sq.Dense().Data[i] != want {
+			t.Errorf("sqrt[%d] = %v, want %v", i, sq.Dense().Data[i], want)
+		}
+	}
+}
+
+func TestApplyGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randGridDense(rng, 9, 7, 4)
+	out := ApplyGrid(FuncExp, g)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 7; j++ {
+			if math.Abs(out.At(i, j)-math.Exp(g.At(i, j))) > 1e-12 {
+				t.Fatalf("exp mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package mio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dmac/internal/matrix"
+)
+
+// Binary grid format, little-endian:
+//
+//	magic "DMGR" | version u32 | rows u64 | cols u64 | blockSize u64 |
+//	then per block in row-major block order:
+//	  kind u8 (0 dense, 1 CSC)
+//	  dense: rows*cols f64
+//	  CSC:   nnz u64, colPtr (cols+1) u32, rowIdx nnz u32, values nnz f64
+//
+// The format round-trips block representations exactly, making it suitable
+// for checkpointing session variables.
+
+const (
+	binaryMagic   = "DMGR"
+	binaryVersion = 1
+)
+
+// WriteGrid serializes a grid to the binary format.
+func WriteGrid(w io.Writer, g *matrix.Grid) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{binaryVersion, uint64(g.Rows()), uint64(g.Cols()), uint64(g.BlockSize())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for bi := 0; bi < g.BlockRows(); bi++ {
+		for bj := 0; bj < g.BlockCols(); bj++ {
+			if err := writeBlock(bw, g.Block(bi, bj)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeBlock(w io.Writer, b matrix.Block) error {
+	switch t := b.(type) {
+	case *matrix.DenseBlock:
+		if _, err := w.Write([]byte{0}); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, t.Data)
+	case *matrix.CSCBlock:
+		if _, err := w.Write([]byte{1}); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(t.NNZ())); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, t.ColPtr); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, t.RowIdx); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, t.Values)
+	default:
+		// Unknown implementations serialize densely.
+		if _, err := w.Write([]byte{0}); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, b.Dense().Data)
+	}
+}
+
+// ReadGrid deserializes a grid written by WriteGrid.
+func ReadGrid(r io.Reader) (*matrix.Grid, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("mio: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("mio: bad magic %q", magic)
+	}
+	var version, rows, cols, bs uint64
+	for _, p := range []*uint64{&version, &rows, &cols, &bs} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("mio: reading header: %w", err)
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("mio: unsupported version %d", version)
+	}
+	const maxDim = 1 << 32
+	if rows == 0 || cols == 0 || bs == 0 || rows > maxDim || cols > maxDim || bs > maxDim {
+		return nil, fmt.Errorf("mio: implausible dimensions %dx%d/bs=%d", rows, cols, bs)
+	}
+	g := matrix.NewGrid(int(rows), int(cols), int(bs))
+	for bi := 0; bi < g.BlockRows(); bi++ {
+		for bj := 0; bj < g.BlockCols(); bj++ {
+			br2, bc2 := g.BlockDims(bi, bj)
+			blk, err := readBlock(br, br2, bc2)
+			if err != nil {
+				return nil, fmt.Errorf("mio: block (%d,%d): %w", bi, bj, err)
+			}
+			g.SetBlock(bi, bj, blk)
+		}
+	}
+	return g, nil
+}
+
+func readBlock(r io.Reader, rows, cols int) (matrix.Block, error) {
+	kind := make([]byte, 1)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return nil, err
+	}
+	switch kind[0] {
+	case 0:
+		d := matrix.NewDense(rows, cols)
+		if err := binary.Read(r, binary.LittleEndian, d.Data); err != nil {
+			return nil, err
+		}
+		for _, v := range d.Data {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("NaN in dense block")
+			}
+		}
+		return d, nil
+	case 1:
+		var nnz uint64
+		if err := binary.Read(r, binary.LittleEndian, &nnz); err != nil {
+			return nil, err
+		}
+		if nnz > uint64(rows)*uint64(cols) {
+			return nil, fmt.Errorf("nnz %d exceeds block capacity", nnz)
+		}
+		colPtr := make([]int32, cols+1)
+		if err := binary.Read(r, binary.LittleEndian, colPtr); err != nil {
+			return nil, err
+		}
+		rowIdx := make([]int32, nnz)
+		if err := binary.Read(r, binary.LittleEndian, rowIdx); err != nil {
+			return nil, err
+		}
+		values := make([]float64, nnz)
+		if err := binary.Read(r, binary.LittleEndian, values); err != nil {
+			return nil, err
+		}
+		// Validate structure before trusting it.
+		if colPtr[0] != 0 || colPtr[cols] != int32(nnz) {
+			return nil, fmt.Errorf("corrupt column pointers")
+		}
+		for c := 0; c < cols; c++ {
+			if colPtr[c] > colPtr[c+1] {
+				return nil, fmt.Errorf("non-monotonic column pointers")
+			}
+		}
+		coords := make([]matrix.Coord, 0, nnz)
+		for c := 0; c < cols; c++ {
+			for k := colPtr[c]; k < colPtr[c+1]; k++ {
+				ri := int(rowIdx[k])
+				if ri < 0 || ri >= rows {
+					return nil, fmt.Errorf("row index %d out of range", ri)
+				}
+				coords = append(coords, matrix.Coord{Row: ri, Col: c, Val: values[k]})
+			}
+		}
+		return matrix.NewCSC(rows, cols, coords), nil
+	default:
+		return nil, fmt.Errorf("unknown block kind %d", kind[0])
+	}
+}

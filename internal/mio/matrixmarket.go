@@ -1,0 +1,210 @@
+// Package mio provides matrix input/output: the MatrixMarket exchange
+// format (the lingua franca for sparse matrix datasets such as the paper's
+// graph collections) and a compact binary format for checkpointing grids.
+package mio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dmac/internal/matrix"
+)
+
+// mmHeader is the banner every MatrixMarket file starts with.
+const mmHeader = "%%MatrixMarket"
+
+// ReadMatrixMarket parses a MatrixMarket stream into a grid with the given
+// block size. Supported variants: object "matrix", formats "coordinate" and
+// "array", field "real" | "integer" | "pattern", symmetry "general" |
+// "symmetric" (symmetric entries are mirrored).
+func ReadMatrixMarket(r io.Reader, blockSize int) (*matrix.Grid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mio: empty input: %w", sc.Err())
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 4 || !strings.HasPrefix(sc.Text(), mmHeader) {
+		return nil, fmt.Errorf("mio: not a MatrixMarket file: %q", sc.Text())
+	}
+	if banner[1] != "matrix" {
+		return nil, fmt.Errorf("mio: unsupported object %q", banner[1])
+	}
+	format := banner[2]
+	field := banner[3]
+	symmetry := "general"
+	if len(banner) >= 5 {
+		symmetry = banner[4]
+	}
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mio: unsupported field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mio: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mio: missing size line")
+	}
+	sizes := strings.Fields(sizeLine)
+
+	switch format {
+	case "coordinate":
+		if len(sizes) != 3 {
+			return nil, fmt.Errorf("mio: coordinate size line %q", sizeLine)
+		}
+		rows, err1 := strconv.Atoi(sizes[0])
+		cols, err2 := strconv.Atoi(sizes[1])
+		nnz, err3 := strconv.Atoi(sizes[2])
+		if err1 != nil || err2 != nil || err3 != nil || rows <= 0 || cols <= 0 || nnz < 0 {
+			return nil, fmt.Errorf("mio: bad coordinate sizes %q", sizeLine)
+		}
+		coords := make([]matrix.Coord, 0, nnz)
+		read := 0
+		for read < nnz && sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			f := strings.Fields(line)
+			want := 3
+			if field == "pattern" {
+				want = 2
+			}
+			if len(f) < want {
+				return nil, fmt.Errorf("mio: short entry %q", line)
+			}
+			i, err1 := strconv.Atoi(f[0])
+			j, err2 := strconv.Atoi(f[1])
+			if err1 != nil || err2 != nil || i < 1 || i > rows || j < 1 || j > cols {
+				return nil, fmt.Errorf("mio: bad entry indices %q", line)
+			}
+			v := 1.0
+			if field != "pattern" {
+				var err error
+				v, err = strconv.ParseFloat(f[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("mio: bad entry value %q: %v", line, err)
+				}
+			}
+			coords = append(coords, matrix.Coord{Row: i - 1, Col: j - 1, Val: v})
+			if symmetry == "symmetric" && i != j {
+				coords = append(coords, matrix.Coord{Row: j - 1, Col: i - 1, Val: v})
+			}
+			read++
+		}
+		if read < nnz {
+			return nil, fmt.Errorf("mio: expected %d entries, got %d: %w", nnz, read, io.ErrUnexpectedEOF)
+		}
+		return matrix.FromCoords(rows, cols, blockSize, coords), nil
+
+	case "array":
+		if len(sizes) != 2 {
+			return nil, fmt.Errorf("mio: array size line %q", sizeLine)
+		}
+		rows, err1 := strconv.Atoi(sizes[0])
+		cols, err2 := strconv.Atoi(sizes[1])
+		if err1 != nil || err2 != nil || rows <= 0 || cols <= 0 {
+			return nil, fmt.Errorf("mio: bad array sizes %q", sizeLine)
+		}
+		data := make([]float64, rows*cols)
+		// Array format is column-major.
+		for k := 0; k < rows*cols; {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("mio: expected %d values, got %d: %w", rows*cols, k, io.ErrUnexpectedEOF)
+			}
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			for _, tok := range strings.Fields(line) {
+				if k >= rows*cols {
+					break
+				}
+				v, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return nil, fmt.Errorf("mio: bad value %q: %v", tok, err)
+				}
+				i, j := k%rows, k/rows
+				data[i*cols+j] = v
+				k++
+			}
+		}
+		return matrix.FromDense(rows, cols, blockSize, data), nil
+
+	default:
+		return nil, fmt.Errorf("mio: unsupported format %q", format)
+	}
+}
+
+// WriteMatrixMarket writes a grid in MatrixMarket format: coordinate/real
+// when the grid is stored sparsely enough to benefit, array/real otherwise.
+func WriteMatrixMarket(w io.Writer, g *matrix.Grid) error {
+	bw := bufio.NewWriter(w)
+	rows, cols := g.Rows(), g.Cols()
+	nnz := g.NNZ()
+	sparse := int64(nnz)*2 < int64(rows)*int64(cols)
+	if sparse {
+		if _, err := fmt.Fprintf(bw, "%s matrix coordinate real general\n%d %d %d\n", mmHeader, rows, cols, nnz); err != nil {
+			return err
+		}
+		for bi := 0; bi < g.BlockRows(); bi++ {
+			for bj := 0; bj < g.BlockCols(); bj++ {
+				r0, c0 := bi*g.BlockSize(), bj*g.BlockSize()
+				b := g.Block(bi, bj)
+				switch t := b.(type) {
+				case *matrix.CSCBlock:
+					var err error
+					t.EachNZ(func(i, j int, v float64) {
+						if err == nil {
+							_, err = fmt.Fprintf(bw, "%d %d %.17g\n", r0+i+1, c0+j+1, v)
+						}
+					})
+					if err != nil {
+						return err
+					}
+				default:
+					for i := 0; i < b.Rows(); i++ {
+						for j := 0; j < b.Cols(); j++ {
+							if v := b.At(i, j); v != 0 {
+								if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", r0+i+1, c0+j+1, v); err != nil {
+									return err
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return bw.Flush()
+	}
+	if _, err := fmt.Fprintf(bw, "%s matrix array real general\n%d %d\n", mmHeader, rows, cols); err != nil {
+		return err
+	}
+	// Column-major per the format definition.
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			if _, err := fmt.Fprintf(bw, "%.17g\n", g.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

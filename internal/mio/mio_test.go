@@ -1,0 +1,213 @@
+package mio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dmac/internal/matrix"
+	"dmac/internal/workload"
+)
+
+func TestMatrixMarketCoordinateRoundTrip(t *testing.T) {
+	g := workload.SparseUniform(1, 40, 25, 8, 0.1)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "coordinate real") {
+		t.Error("sparse grid should write coordinate format")
+	}
+	got, err := ReadMatrixMarket(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.GridEqual(g, got, 0) {
+		t.Error("coordinate round trip mismatch")
+	}
+}
+
+func TestMatrixMarketArrayRoundTrip(t *testing.T) {
+	g := workload.DenseRandom(2, 12, 9, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "array real") {
+		t.Error("dense grid should write array format")
+	}
+	got, err := ReadMatrixMarket(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.GridEqual(g, got, 0) {
+		t.Error("array round trip mismatch")
+	}
+}
+
+func TestMatrixMarketVariants(t *testing.T) {
+	// Pattern + symmetric, with comments and blank lines.
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+
+3 3 2
+2 1
+3 3
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(1, 0) != 1 || g.At(0, 1) != 1 {
+		t.Error("symmetric pattern entries not mirrored")
+	}
+	if g.At(2, 2) != 1 {
+		t.Error("diagonal entry lost")
+	}
+	if g.NNZ() != 3 {
+		t.Errorf("nnz = %d, want 3", g.NNZ())
+	}
+	// Integer field.
+	in2 := "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n"
+	g2, err := ReadMatrixMarket(strings.NewReader(in2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.At(0, 1) != 7 {
+		t.Error("integer entry wrong")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a banner\n",
+		"%%MatrixMarket vector coordinate real general\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.0\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1 2 3 bad\n",
+		"%%MatrixMarket matrix unknown real general\n2 2 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in), 4); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestBinaryRoundTripMixed(t *testing.T) {
+	// A grid with both sparse and dense blocks.
+	g := workload.SparseUniform(3, 30, 30, 10, 0.05)
+	g.SetBlock(1, 1, matrix.NewDenseData(10, 10, func() []float64 {
+		d := make([]float64, 100)
+		rng := rand.New(rand.NewSource(9))
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		return d
+	}()))
+	var buf bytes.Buffer
+	if err := WriteGrid(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGrid(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.GridEqual(g, got, 0) {
+		t.Error("binary round trip mismatch")
+	}
+	// Representations are preserved exactly.
+	if got.Block(0, 0).IsSparse() != g.Block(0, 0).IsSparse() {
+		t.Error("sparse block representation lost")
+	}
+	if got.Block(1, 1).IsSparse() {
+		t.Error("dense block representation lost")
+	}
+	if got.BlockSize() != g.BlockSize() {
+		t.Error("block size lost")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadGrid(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("expected magic error")
+	}
+	// Truncated stream.
+	g := workload.SparseUniform(4, 10, 10, 5, 0.2)
+	var buf bytes.Buffer
+	if err := WriteGrid(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 10, 30, len(full) - 5} {
+		if _, err := ReadGrid(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("expected error for truncation at %d", cut)
+		}
+	}
+	// Corrupt version.
+	bad := append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := ReadGrid(bytes.NewReader(bad)); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+// Property: binary round trip is the identity for random grids.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, bsRaw uint8, sparse bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		bs := 1 + int(bsRaw)%10
+		var g *matrix.Grid
+		if sparse {
+			g = workload.SparseUniform(seed, rows, cols, bs, 0.3)
+		} else {
+			g = workload.DenseRandom(seed, rows, cols, bs)
+		}
+		var buf bytes.Buffer
+		if err := WriteGrid(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadGrid(&buf)
+		if err != nil {
+			return false
+		}
+		return matrix.GridEqual(g, got, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatrixMarket round trip preserves values for random sparse
+// grids.
+func TestQuickMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(25), 1+rng.Intn(25)
+		g := workload.SparseUniform(seed, rows, cols, 4, 0.2)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadMatrixMarket(&buf, 7) // different block size on purpose
+		if err != nil {
+			return false
+		}
+		return matrix.GridEqual(g, got, 1e-15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+package sched
+
+import "math"
+
+// ChooseBlockSize implements the automatic block-size selection of
+// Section 5.3. For an M x N matrix executed on K workers with local
+// parallelism L, the RMM-based multiplication produces at least M*N/(K*m^2)
+// tasks per worker; requiring at least one task per thread gives the upper
+// bound of Eq. 3:
+//
+//	m <= sqrt(M*N / (L*K))
+//
+// DMac prefers blocks as large as possible (to avoid duplicating the CSC
+// column-pointer arrays, Eq. 2) while staying under this bound, so the
+// chooser returns a value near the bound.
+func ChooseBlockSize(rows, cols, localParallelism, workers int) int {
+	if rows <= 0 || cols <= 0 {
+		return 1
+	}
+	if localParallelism < 1 {
+		localParallelism = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bound := math.Sqrt(float64(rows) * float64(cols) / float64(localParallelism*workers))
+	m := int(bound)
+	if m < 1 {
+		m = 1
+	}
+	maxDim := rows
+	if cols > maxDim {
+		maxDim = cols
+	}
+	if m > maxDim {
+		m = maxDim
+	}
+	return m
+}
+
+// BlockSizeBound returns the raw Eq. 3 upper bound without clamping, for
+// reporting and for the Figure 8 threshold annotations.
+func BlockSizeBound(rows, cols, localParallelism, workers int) float64 {
+	return math.Sqrt(float64(rows) * float64(cols) / float64(localParallelism*workers))
+}

@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"sync"
+
+	"dmac/internal/matrix"
+)
+
+// BufferPool is the result buffer pool of Figure 4. It maintains a bounded
+// number of reusable dense blocks; a task acquires a clean block at start
+// and either returns it (Release) or detaches it to keep it as a result
+// block (Detach). Pooled blocks are accounted against the memory tracker
+// while they live in the pool.
+type BufferPool struct {
+	mu      sync.Mutex
+	free    []*matrix.DenseBlock
+	maxIdle int
+	mem     *MemTracker
+}
+
+// NewBufferPool creates a pool that retains at most maxIdle free blocks.
+func NewBufferPool(maxIdle int, mem *MemTracker) *BufferPool {
+	if maxIdle < 1 {
+		maxIdle = 1
+	}
+	if mem == nil {
+		mem = NewMemTracker()
+	}
+	return &BufferPool{maxIdle: maxIdle, mem: mem}
+}
+
+// Acquire returns a zeroed rows x cols dense block, reusing a pooled block
+// whose backing array is large enough when possible.
+func (p *BufferPool) Acquire(rows, cols int) *matrix.DenseBlock {
+	need := rows * cols
+	p.mu.Lock()
+	for i, b := range p.free {
+		if cap(b.Data) >= need {
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			p.mem.Sub(int64(8 * cap(b.Data)))
+			blk := matrix.NewDenseData(rows, cols, b.Data[:need])
+			blk.Zero()
+			p.mem.Add(blk.MemBytes())
+			return blk
+		}
+	}
+	p.mu.Unlock()
+	blk := matrix.NewDense(rows, cols)
+	p.mem.Add(blk.MemBytes())
+	return blk
+}
+
+// Release returns a block to the pool for reuse. If the pool is full the
+// block is dropped (its memory accounting is removed either way; pooled
+// blocks are re-accounted at the pooled capacity).
+func (p *BufferPool) Release(b *matrix.DenseBlock) {
+	p.mem.Sub(b.MemBytes())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < p.maxIdle {
+		p.free = append(p.free, b)
+		p.mem.Add(int64(8 * cap(b.Data)))
+	}
+}
+
+// Detach removes a block from pool accounting so the caller can keep it as
+// a long-lived result; the caller takes over memory accounting.
+func (p *BufferPool) Detach(b *matrix.DenseBlock) *matrix.DenseBlock {
+	p.mem.Sub(b.MemBytes())
+	return b
+}
+
+// Idle returns the number of free blocks currently pooled.
+func (p *BufferPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,267 @@
+// Package sched implements DMac's local execution strategy (Section 5.3):
+// a block-based executor that splits matrix operations into per-result-block
+// tasks, runs them on a fixed pool of worker threads, and recycles result
+// blocks through a buffer pool. Two aggregation strategies for block
+// multiplication are provided — the paper's In-Place approach and the
+// traditional Buffer approach it is compared against in Figure 7.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dmac/internal/matrix"
+)
+
+// Executor runs block tasks on a fixed number of local threads. It models
+// the per-worker execution flow of Figure 4: a task queue drained by L
+// threads, each acquiring result blocks from a shared buffer pool.
+type Executor struct {
+	parallelism int
+	pool        *BufferPool
+	mem         *MemTracker
+}
+
+// NewExecutor creates an executor with the given local parallelism (L in the
+// paper). If parallelism <= 0, runtime.NumCPU() is used. The memory tracker
+// may be nil, in which case a private one is created.
+func NewExecutor(parallelism int, mem *MemTracker) *Executor {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if mem == nil {
+		mem = NewMemTracker()
+	}
+	return &Executor{
+		parallelism: parallelism,
+		mem:         mem,
+		pool:        NewBufferPool(2*parallelism, mem),
+	}
+}
+
+// Parallelism returns the number of local threads (L).
+func (e *Executor) Parallelism() int { return e.parallelism }
+
+// Mem returns the executor's memory tracker.
+func (e *Executor) Mem() *MemTracker { return e.mem }
+
+// Pool returns the executor's result buffer pool.
+func (e *Executor) Pool() *BufferPool { return e.pool }
+
+// ForEach runs fn(i) for i in [0, n) on the executor's threads. It blocks
+// until all tasks complete. Tasks are pulled from a shared queue, matching
+// the task-queue model of Figure 4.
+func (e *Executor) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	queue := make(chan int, n)
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MulStrategy selects the local aggregation strategy for blocked matrix
+// multiplication.
+type MulStrategy int
+
+// The two local multiplication strategies compared in Section 5.3.
+const (
+	// InPlace packages all block products contributing to one result block
+	// into a single task and accumulates them directly into the result
+	// block — no intermediate buffers (the DMac default).
+	InPlace MulStrategy = iota
+	// Buffer parallelizes individual block products, materializes every
+	// intermediate product block, and aggregates at the end (the traditional
+	// approach; memory-hungry).
+	Buffer
+)
+
+// String names the strategy.
+func (s MulStrategy) String() string {
+	switch s {
+	case InPlace:
+		return "in-place"
+	case Buffer:
+		return "buffer"
+	default:
+		return fmt.Sprintf("MulStrategy(%d)", int(s))
+	}
+}
+
+// Mul multiplies two grids with the chosen aggregation strategy. Both grids
+// must share a block size. The result is a dense grid (worst-case sparsity
+// of a product is 1, Section 5.1).
+func (e *Executor) Mul(a, b *matrix.Grid, strategy MulStrategy) (*matrix.Grid, error) {
+	if a.Cols() != b.Rows() {
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", matrix.ErrShape, a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	if a.BlockSize() != b.BlockSize() {
+		return nil, fmt.Errorf("%w: block sizes %d vs %d", matrix.ErrShape, a.BlockSize(), b.BlockSize())
+	}
+	switch strategy {
+	case InPlace:
+		return e.mulInPlace(a, b), nil
+	case Buffer:
+		return e.mulBuffer(a, b), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown multiplication strategy %d", strategy)
+	}
+}
+
+// mulInPlace: one task per result block; each task accumulates its full
+// inner-dimension sum into a single owned block.
+func (e *Executor) mulInPlace(a, b *matrix.Grid) *matrix.Grid {
+	out := matrix.NewGrid(a.Rows(), b.Cols(), a.BlockSize())
+	brows, bcols, inner := a.BlockRows(), b.BlockCols(), a.BlockCols()
+	e.ForEach(brows*bcols, func(idx int) {
+		bi, bj := idx/bcols, idx%bcols
+		r, c := out.BlockDims(bi, bj)
+		dst := e.pool.Acquire(r, c)
+		for k := 0; k < inner; k++ {
+			// Accumulate directly into the result block: no intermediate
+			// product blocks exist at any point.
+			if err := matrix.MulAddInto(dst, a.Block(bi, k), b.Block(k, bj)); err != nil {
+				panic(err) // shapes were validated by Mul
+			}
+		}
+		// The block leaves the pool and becomes part of the result.
+		final := e.pool.Detach(dst)
+		e.mem.Add(final.MemBytes())
+		out.SetBlock(bi, bj, final)
+	})
+	return out
+}
+
+// mulBuffer: one task per (bi, k, bj) block product; all intermediate blocks
+// are buffered and aggregated afterwards.
+func (e *Executor) mulBuffer(a, b *matrix.Grid) *matrix.Grid {
+	out := matrix.NewGrid(a.Rows(), b.Cols(), a.BlockSize())
+	brows, bcols, inner := a.BlockRows(), b.BlockCols(), a.BlockCols()
+	intermediates := make([]*matrix.DenseBlock, brows*bcols*inner)
+	e.ForEach(brows*bcols*inner, func(idx int) {
+		bi := idx / (bcols * inner)
+		rem := idx % (bcols * inner)
+		bj, k := rem/inner, rem%inner
+		r, _ := out.BlockDims(bi, bj)
+		_, c := out.BlockDims(bi, bj)
+		prod := matrix.NewDense(r, c)
+		e.mem.Add(prod.MemBytes())
+		if err := matrix.MulAddInto(prod, a.Block(bi, k), b.Block(k, bj)); err != nil {
+			panic(err)
+		}
+		intermediates[idx] = prod
+	})
+	// Aggregation pass: sum the buffered products per result block.
+	e.ForEach(brows*bcols, func(idx int) {
+		bi, bj := idx/bcols, idx%bcols
+		r, c := out.BlockDims(bi, bj)
+		dst := matrix.NewDense(r, c)
+		e.mem.Add(dst.MemBytes())
+		for k := 0; k < inner; k++ {
+			prod := intermediates[(bi*bcols+bj)*inner+k]
+			for i, v := range prod.Data {
+				dst.Data[i] += v
+			}
+		}
+		out.SetBlock(bi, bj, dst)
+	})
+	// The intermediates become garbage only after aggregation completes.
+	for _, p := range intermediates {
+		e.mem.Sub(p.MemBytes())
+	}
+	return out
+}
+
+// Cellwise applies op element-wise to two grids in parallel.
+func (e *Executor) Cellwise(op matrix.BinOp, a, b *matrix.Grid) (*matrix.Grid, error) {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() || a.BlockSize() != b.BlockSize() {
+		return nil, fmt.Errorf("%w: %dx%d/bs=%d vs %dx%d/bs=%d", matrix.ErrShape,
+			a.Rows(), a.Cols(), a.BlockSize(), b.Rows(), b.Cols(), b.BlockSize())
+	}
+	out := matrix.NewGrid(a.Rows(), a.Cols(), a.BlockSize())
+	bcols := a.BlockCols()
+	var firstErr error
+	var mu sync.Mutex
+	e.ForEach(a.BlockRows()*bcols, func(idx int) {
+		bi, bj := idx/bcols, idx%bcols
+		blk, err := matrix.Cellwise(op, a.Block(bi, bj), b.Block(bi, bj))
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		e.mem.Add(blk.MemBytes())
+		out.SetBlock(bi, bj, blk)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Scalar applies a block-scalar operation to every block in parallel.
+func (e *Executor) Scalar(op matrix.ScalarOp, a *matrix.Grid, c float64) *matrix.Grid {
+	out := matrix.NewGrid(a.Rows(), a.Cols(), a.BlockSize())
+	bcols := a.BlockCols()
+	e.ForEach(a.BlockRows()*bcols, func(idx int) {
+		bi, bj := idx/bcols, idx%bcols
+		blk := matrix.Scalar(op, a.Block(bi, bj), c)
+		e.mem.Add(blk.MemBytes())
+		out.SetBlock(bi, bj, blk)
+	})
+	return out
+}
+
+// Apply evaluates a named element-wise function on every block in parallel.
+func (e *Executor) Apply(f matrix.UFunc, a *matrix.Grid) *matrix.Grid {
+	out := matrix.NewGrid(a.Rows(), a.Cols(), a.BlockSize())
+	bcols := a.BlockCols()
+	e.ForEach(a.BlockRows()*bcols, func(idx int) {
+		bi, bj := idx/bcols, idx%bcols
+		blk := matrix.ApplyBlock(f, a.Block(bi, bj))
+		e.mem.Add(blk.MemBytes())
+		out.SetBlock(bi, bj, blk)
+	})
+	return out
+}
+
+// Transpose transposes a grid in parallel (a purely local operation: this is
+// what makes the Transpose dependency communication-free).
+func (e *Executor) Transpose(a *matrix.Grid) *matrix.Grid {
+	out := matrix.NewGrid(a.Cols(), a.Rows(), a.BlockSize())
+	bcols := a.BlockCols()
+	e.ForEach(a.BlockRows()*bcols, func(idx int) {
+		bi, bj := idx/bcols, idx%bcols
+		blk := a.Block(bi, bj).Transpose()
+		e.mem.Add(blk.MemBytes())
+		out.SetBlock(bj, bi, blk)
+	})
+	return out
+}

@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"dmac/internal/matrix"
+)
+
+func randGrid(rng *rand.Rand, rows, cols, bs int, sparsity float64) *matrix.Grid {
+	if sparsity >= 1 {
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		return matrix.FromDense(rows, cols, bs, data)
+	}
+	var coords []matrix.Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < sparsity {
+				coords = append(coords, matrix.Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	return matrix.FromCoords(rows, cols, bs, coords)
+}
+
+func TestForEachRunsAllTasksOnce(t *testing.T) {
+	e := NewExecutor(4, nil)
+	const n = 1000
+	var counts [n]atomic.Int32
+	e.ForEach(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("task %d ran %d times", i, got)
+		}
+	}
+	// n = 0 and single-thread paths must not hang.
+	e.ForEach(0, func(int) { t.Error("task ran for n=0") })
+	one := NewExecutor(1, nil)
+	ran := 0
+	one.ForEach(3, func(int) { ran++ })
+	if ran != 3 {
+		t.Errorf("single-thread ForEach ran %d, want 3", ran)
+	}
+}
+
+func TestMulStrategiesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := randGrid(rng, 23, 17, 5, 0.3)
+	b := randGrid(rng, 17, 19, 5, 1)
+	want, err := matrix.MulGrid(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []MulStrategy{InPlace, Buffer} {
+		e := NewExecutor(4, nil)
+		got, err := e.Mul(a, b, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !matrix.GridEqual(got, want, 1e-9) {
+			t.Errorf("%v result differs from reference", s)
+		}
+	}
+}
+
+func TestMulErrors(t *testing.T) {
+	e := NewExecutor(2, nil)
+	if _, err := e.Mul(matrix.NewDenseGrid(2, 3, 2), matrix.NewDenseGrid(2, 3, 2), InPlace); err == nil {
+		t.Error("expected inner-dimension error")
+	}
+	if _, err := e.Mul(matrix.NewDenseGrid(2, 3, 2), matrix.NewDenseGrid(3, 2, 3), InPlace); err == nil {
+		t.Error("expected block-size error")
+	}
+	if _, err := e.Mul(matrix.NewDenseGrid(2, 3, 2), matrix.NewDenseGrid(3, 2, 2), MulStrategy(42)); err == nil {
+		t.Error("expected unknown-strategy error")
+	}
+}
+
+func TestInPlaceUsesLessPeakMemoryThanBuffer(t *testing.T) {
+	// A multiplication with a large inner block dimension: Buffer keeps
+	// brows*inner*bcols intermediates alive, In-Place only ~L.
+	rng := rand.New(rand.NewSource(31))
+	a := randGrid(rng, 40, 120, 8, 0.2)
+	b := randGrid(rng, 120, 40, 8, 0.2)
+
+	memIP := NewMemTracker()
+	eIP := NewExecutor(2, memIP)
+	if _, err := eIP.Mul(a, b, InPlace); err != nil {
+		t.Fatal(err)
+	}
+	memBuf := NewMemTracker()
+	eBuf := NewExecutor(2, memBuf)
+	if _, err := eBuf.Mul(a, b, Buffer); err != nil {
+		t.Fatal(err)
+	}
+	if memIP.Peak() >= memBuf.Peak() {
+		t.Errorf("In-Place peak %d >= Buffer peak %d; expected strictly less", memIP.Peak(), memBuf.Peak())
+	}
+}
+
+func TestCellwiseAndScalarParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randGrid(rng, 15, 15, 4, 1)
+	b := randGrid(rng, 15, 15, 4, 1)
+	e := NewExecutor(4, nil)
+	got, err := e.Cellwise(matrix.OpCellMul, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := matrix.CellwiseGrid(matrix.OpCellMul, a, b)
+	if !matrix.GridEqual(got, want, 0) {
+		t.Error("parallel cellwise differs from sequential")
+	}
+	if _, err := e.Cellwise(matrix.OpAdd, a, matrix.NewDenseGrid(15, 14, 4)); err == nil {
+		t.Error("expected shape error")
+	}
+	sc := e.Scalar(matrix.ScalarMul, a, 3)
+	wantSc := matrix.ScalarGrid(matrix.ScalarMul, a, 3)
+	if !matrix.GridEqual(sc, wantSc, 0) {
+		t.Error("parallel scalar differs from sequential")
+	}
+}
+
+func TestTransposeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := randGrid(rng, 21, 13, 4, 0.3)
+	e := NewExecutor(4, nil)
+	got := e.Transpose(a)
+	if !matrix.GridEqual(got, a.Transpose(), 0) {
+		t.Error("parallel transpose differs from sequential")
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	m := NewMemTracker()
+	m.Add(100)
+	m.Add(50)
+	if m.Current() != 150 || m.Peak() != 150 {
+		t.Fatalf("cur=%d peak=%d", m.Current(), m.Peak())
+	}
+	m.Sub(100)
+	if m.Current() != 50 || m.Peak() != 150 {
+		t.Fatalf("after sub: cur=%d peak=%d", m.Current(), m.Peak())
+	}
+	m.Add(10)
+	if m.Peak() != 150 {
+		t.Fatal("peak should not move below previous high-water mark")
+	}
+	m.ResetPeak()
+	if m.Peak() != 60 {
+		t.Fatalf("ResetPeak: peak=%d, want 60", m.Peak())
+	}
+	m.Reset()
+	if m.Current() != 0 || m.Peak() != 0 {
+		t.Fatal("Reset did not zero tracker")
+	}
+}
+
+func TestMemTrackerConcurrentPeak(t *testing.T) {
+	m := NewMemTracker()
+	e := NewExecutor(8, nil)
+	e.ForEach(1000, func(int) {
+		m.Add(10)
+		m.Sub(10)
+	})
+	if m.Current() != 0 {
+		t.Errorf("current = %d, want 0", m.Current())
+	}
+	if m.Peak() < 10 {
+		t.Errorf("peak = %d, want >= 10", m.Peak())
+	}
+}
+
+func TestBufferPoolReuse(t *testing.T) {
+	mem := NewMemTracker()
+	p := NewBufferPool(2, mem)
+	b1 := p.Acquire(4, 4)
+	b1.Set(0, 0, 7)
+	p.Release(b1)
+	if p.Idle() != 1 {
+		t.Fatalf("idle = %d, want 1", p.Idle())
+	}
+	b2 := p.Acquire(4, 4)
+	if b2.At(0, 0) != 0 {
+		t.Error("reused block was not zeroed")
+	}
+	// Smaller block may reuse a larger backing array.
+	p.Release(b2)
+	b3 := p.Acquire(2, 2)
+	if b3.Rows() != 2 || b3.Cols() != 2 {
+		t.Error("wrong shape from pool")
+	}
+	p.Release(b3)
+	// Pool caps idle blocks at maxIdle.
+	a, b, c := p.Acquire(3, 3), p.Acquire(3, 3), p.Acquire(3, 3)
+	p.Release(a)
+	p.Release(b)
+	p.Release(c)
+	if p.Idle() > 2 {
+		t.Errorf("idle = %d, want <= 2", p.Idle())
+	}
+	if mem.Current() < 0 {
+		t.Errorf("negative accounted memory: %d", mem.Current())
+	}
+}
+
+func TestChooseBlockSizeEq3(t *testing.T) {
+	// Paper example (Section 6.3): 4-node cluster, K=4, L=8. For
+	// LiveJournal-sized square matrices (~4.85M nodes) the threshold is
+	// about 856k.
+	n := 4847571
+	got := ChooseBlockSize(n, n, 8, 4)
+	if got < 800000 || got > 900000 {
+		t.Errorf("ChooseBlockSize = %d, want ~856k", got)
+	}
+	// soc-pokec: ~1.63M nodes -> ~289k.
+	n = 1632803
+	got = ChooseBlockSize(n, n, 8, 4)
+	if got < 270000 || got > 300000 {
+		t.Errorf("ChooseBlockSize = %d, want ~289k", got)
+	}
+	// Degenerate inputs.
+	if ChooseBlockSize(0, 5, 1, 1) != 1 {
+		t.Error("zero rows should give 1")
+	}
+	if got := ChooseBlockSize(3, 3, 1, 1); got > 3 {
+		t.Errorf("block size %d exceeds matrix dimension", got)
+	}
+	if got := ChooseBlockSize(10, 10, 0, 0); got < 1 {
+		t.Errorf("non-positive parallelism handled wrong: %d", got)
+	}
+}
+
+// Property: the chosen block size never exceeds the Eq. 3 bound (when the
+// bound is at least 1) and is always positive.
+func TestQuickChooseBlockSizeWithinBound(t *testing.T) {
+	f := func(rRaw, cRaw uint16, lRaw, kRaw uint8) bool {
+		rows, cols := int(rRaw)%5000+1, int(cRaw)%5000+1
+		l, k := int(lRaw)%16+1, int(kRaw)%32+1
+		m := ChooseBlockSize(rows, cols, l, k)
+		if m < 1 {
+			return false
+		}
+		bound := BlockSizeBound(rows, cols, l, k)
+		if bound >= 1 && float64(m) > bound {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both local strategies agree with each other on random inputs.
+func TestQuickStrategiesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, p := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		bs := 1 + rng.Intn(7)
+		a := randGrid(rng, n, m, bs, 0.5)
+		b := randGrid(rng, m, p, bs, 0.5)
+		e := NewExecutor(3, nil)
+		r1, err := e.Mul(a, b, InPlace)
+		if err != nil {
+			return false
+		}
+		r2, err := e.Mul(a, b, Buffer)
+		if err != nil {
+			return false
+		}
+		return matrix.GridEqual(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulStrategyString(t *testing.T) {
+	if InPlace.String() != "in-place" || Buffer.String() != "buffer" {
+		t.Error("strategy names wrong")
+	}
+	if MulStrategy(9).String() == "" {
+		t.Error("unknown strategy must still print")
+	}
+}

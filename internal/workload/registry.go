@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+
+	"dmac/internal/matrix"
+)
+
+// GraphSpec describes one of the real-world graphs of Table 3 together with
+// a synthetic stand-in recipe.
+type GraphSpec struct {
+	// Name is the dataset name used in the paper.
+	Name string
+	// PaperNodes and PaperEdges are the original statistics (Table 3).
+	PaperNodes, PaperEdges int64
+	// Seed makes the synthetic stand-in deterministic per dataset.
+	Seed int64
+}
+
+// AvgDegree returns the original average out-degree, which the scaled
+// stand-in preserves.
+func (s GraphSpec) AvgDegree() float64 {
+	return float64(s.PaperEdges) / float64(s.PaperNodes)
+}
+
+// ScaledNodes returns the node count at a 1/denominator scale (at least 64).
+func (s GraphSpec) ScaledNodes(denominator int) int {
+	n := int(s.PaperNodes / int64(denominator))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Generate builds the synthetic stand-in at the given scale denominator: a
+// power-law graph with the original average degree.
+func (s GraphSpec) Generate(denominator, blockSize int) GeneratedGraph {
+	nodes := s.ScaledNodes(denominator)
+	adj := PowerLawGraph(s.Seed, nodes, s.AvgDegree(), blockSize)
+	return GeneratedGraph{Spec: s, Nodes: nodes, Edges: adj.NNZ(), Adjacency: adj}
+}
+
+// GeneratedGraph is a generated graph with its realized statistics.
+type GeneratedGraph struct {
+	Spec      GraphSpec
+	Nodes     int
+	Edges     int
+	Adjacency *matrix.Grid
+}
+
+// String prints a Table 3 style row for the generated graph.
+func (g GeneratedGraph) String() string {
+	return fmt.Sprintf("%-12s paper: %9d nodes %11d edges | generated: %7d nodes %9d edges",
+		g.Spec.Name, g.Spec.PaperNodes, g.Spec.PaperEdges, g.Nodes, g.Edges)
+}
+
+// Graphs is the registry of the four graph datasets of Table 3.
+var Graphs = []GraphSpec{
+	{Name: "soc-pokec", PaperNodes: 1632803, PaperEdges: 30622564, Seed: 1001},
+	{Name: "cit-Patents", PaperNodes: 3774768, PaperEdges: 16518978, Seed: 1002},
+	{Name: "LiveJournal", PaperNodes: 4847571, PaperEdges: 68993773, Seed: 1003},
+	{Name: "Wikipedia", PaperNodes: 25942254, PaperEdges: 601038301, Seed: 1004},
+}
+
+// GraphByName returns the registry entry with the given name.
+func GraphByName(name string) (GraphSpec, bool) {
+	for _, g := range Graphs {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GraphSpec{}, false
+}
+
+// NetflixSpec describes the Netflix ratings dataset used by the GNMF, CF
+// and SVD experiments (Section 6): 17770 movies x 480189 users, sparsity
+// ~0.01.
+type NetflixSpec struct {
+	Movies, Users int
+	Sparsity      float64
+	Seed          int64
+}
+
+// Netflix is the registry entry for the Netflix dataset.
+var Netflix = NetflixSpec{Movies: 17770, Users: 480189, Sparsity: 0.01, Seed: 2001}
+
+// Scaled generates a Netflix-shaped ratings matrix at 1/denominator scale
+// per dimension (sparsity preserved) and returns it with its dimensions.
+func (n NetflixSpec) Scaled(denominator, blockSize int) (movies, users int, grid *matrix.Grid) {
+	movies = n.Movies / denominator
+	users = n.Users / denominator
+	if movies < 32 {
+		movies = 32
+	}
+	if users < 32 {
+		users = 32
+	}
+	grid = Ratings(n.Seed, movies, users, blockSize, n.Sparsity)
+	return movies, users, grid
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dmac/internal/matrix"
+)
+
+func TestSparseUniformDeterministicAndSized(t *testing.T) {
+	a := SparseUniform(7, 100, 200, 32, 0.05)
+	b := SparseUniform(7, 100, 200, 32, 0.05)
+	if !matrix.GridEqual(a, b, 0) {
+		t.Error("same seed must reproduce the same matrix")
+	}
+	c := SparseUniform(8, 100, 200, 32, 0.05)
+	if matrix.GridEqual(a, c, 0) {
+		t.Error("different seeds should differ")
+	}
+	want := int(0.05 * 100 * 200)
+	if a.NNZ() != want {
+		t.Errorf("nnz = %d, want %d", a.NNZ(), want)
+	}
+	// Values bounded away from zero.
+	g := a.ToDense()
+	for _, v := range g {
+		if v != 0 && (v < 0.5 || v >= 1.5) {
+			t.Fatalf("value %v out of range", v)
+		}
+	}
+}
+
+func TestDenseRandomPositive(t *testing.T) {
+	g := DenseRandom(3, 20, 10, 8)
+	if g.NNZ() != 200 {
+		t.Errorf("dense generator produced zeros: nnz=%d", g.NNZ())
+	}
+	for _, v := range g.ToDense() {
+		if v < 0.1 || v >= 1.1 {
+			t.Fatalf("value %v out of range", v)
+		}
+	}
+}
+
+func TestRatingsIntegerValues(t *testing.T) {
+	g := Ratings(5, 50, 80, 16, 0.1)
+	if g.NNZ() != 400 {
+		t.Errorf("nnz = %d, want 400", g.NNZ())
+	}
+	for _, v := range g.ToDense() {
+		if v == 0 {
+			continue
+		}
+		if v != math.Trunc(v) || v < 1 || v > 5 {
+			t.Fatalf("rating %v not in 1..5", v)
+		}
+	}
+}
+
+func TestPowerLawGraphProperties(t *testing.T) {
+	const nodes = 500
+	const avgDeg = 8.0
+	g := PowerLawGraph(11, nodes, avgDeg, 64)
+	if g.Rows() != nodes || g.Cols() != nodes {
+		t.Fatalf("shape %dx%d", g.Rows(), g.Cols())
+	}
+	// Edge count approximates nodes*avgDegree (within 30%).
+	edges := float64(g.NNZ())
+	if edges < 0.7*nodes*avgDeg || edges > 1.3*nodes*avgDeg {
+		t.Errorf("edges = %v, want ~%v", edges, nodes*avgDeg)
+	}
+	// No self loops; at least one out-edge per node; 0/1 values.
+	dense := g.ToDense()
+	for i := 0; i < nodes; i++ {
+		if dense[i*nodes+i] != 0 {
+			t.Fatalf("self loop at %d", i)
+		}
+		deg := 0
+		for j := 0; j < nodes; j++ {
+			v := dense[i*nodes+j]
+			if v != 0 && v != 1 {
+				t.Fatalf("edge weight %v", v)
+			}
+			if v == 1 {
+				deg++
+			}
+		}
+		if deg == 0 {
+			t.Fatalf("node %d has no out-edges", i)
+		}
+	}
+	// Determinism.
+	if !matrix.GridEqual(g, PowerLawGraph(11, nodes, avgDeg, 64), 0) {
+		t.Error("graph generation not deterministic")
+	}
+	// Degree skew: the max out-degree should clearly exceed the average.
+	maxDeg := 0
+	for i := 0; i < nodes; i++ {
+		deg := 0
+		for j := 0; j < nodes; j++ {
+			if dense[i*nodes+j] != 0 {
+				deg++
+			}
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	if float64(maxDeg) < 3*avgDeg {
+		t.Errorf("max degree %d shows no power-law skew (avg %v)", maxDeg, avgDeg)
+	}
+}
+
+func TestRowNormalize(t *testing.T) {
+	g := PowerLawGraph(13, 120, 5, 32)
+	link := RowNormalize(g)
+	dense := link.ToDense()
+	for i := 0; i < 120; i++ {
+		sum := 0.0
+		for j := 0; j < 120; j++ {
+			sum += dense[i*120+j]
+		}
+		if math.Abs(sum-1) > 1e-9 && sum != 0 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	if link.NNZ() != g.NNZ() {
+		t.Error("normalization changed the sparsity pattern")
+	}
+}
+
+func TestGraphRegistry(t *testing.T) {
+	if len(Graphs) != 4 {
+		t.Fatalf("registry has %d graphs, want 4 (Table 3)", len(Graphs))
+	}
+	// Table 3 statistics.
+	wantNodes := map[string]int64{
+		"soc-pokec":   1632803,
+		"cit-Patents": 3774768,
+		"LiveJournal": 4847571,
+		"Wikipedia":   25942254,
+	}
+	for name, nodes := range wantNodes {
+		spec, ok := GraphByName(name)
+		if !ok {
+			t.Fatalf("missing graph %s", name)
+		}
+		if spec.PaperNodes != nodes {
+			t.Errorf("%s nodes = %d, want %d", name, spec.PaperNodes, nodes)
+		}
+		if spec.AvgDegree() <= 1 {
+			t.Errorf("%s average degree %v", name, spec.AvgDegree())
+		}
+	}
+	if _, ok := GraphByName("nope"); ok {
+		t.Error("unknown graph found")
+	}
+}
+
+func TestGraphSpecGenerate(t *testing.T) {
+	spec, _ := GraphByName("soc-pokec")
+	gen := spec.Generate(4000, 64)
+	if gen.Nodes != spec.ScaledNodes(4000) {
+		t.Errorf("nodes = %d", gen.Nodes)
+	}
+	wantEdges := float64(gen.Nodes) * spec.AvgDegree()
+	if e := float64(gen.Edges); e < 0.7*wantEdges || e > 1.3*wantEdges {
+		t.Errorf("edges = %d, want ~%v (degree preserved)", gen.Edges, wantEdges)
+	}
+	if gen.String() == "" {
+		t.Error("empty description")
+	}
+	// Minimum size floor.
+	if n := spec.ScaledNodes(1 << 30); n != 64 {
+		t.Errorf("scale floor = %d, want 64", n)
+	}
+}
+
+func TestNetflixScaled(t *testing.T) {
+	movies, users, g := Netflix.Scaled(100, 32)
+	if movies != 177 || users != 4801 {
+		t.Errorf("scaled dims %dx%d", movies, users)
+	}
+	if g.Rows() != movies || g.Cols() != users {
+		t.Errorf("grid dims %dx%d", g.Rows(), g.Cols())
+	}
+	wantNNZ := int(Netflix.Sparsity * float64(movies) * float64(users))
+	if g.NNZ() != wantNNZ {
+		t.Errorf("nnz = %d, want %d", g.NNZ(), wantNNZ)
+	}
+	// Floors.
+	m2, u2, _ := Netflix.Scaled(1<<30, 32)
+	if m2 != 32 || u2 != 32 {
+		t.Errorf("floor dims %dx%d", m2, u2)
+	}
+}

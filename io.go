@@ -1,0 +1,28 @@
+package dmac
+
+import (
+	"io"
+
+	"dmac/internal/mio"
+)
+
+// ReadMatrixMarket parses a MatrixMarket stream (coordinate or array format;
+// real, integer or pattern fields; general or symmetric) into a grid with
+// the given block size.
+func ReadMatrixMarket(r io.Reader, blockSize int) (*Grid, error) {
+	return mio.ReadMatrixMarket(r, blockSize)
+}
+
+// WriteMatrixMarket writes a grid in MatrixMarket format, picking the
+// coordinate or array variant by the grid's density.
+func WriteMatrixMarket(w io.Writer, g *Grid) error {
+	return mio.WriteMatrixMarket(w, g)
+}
+
+// WriteGrid serializes a grid to DMac's compact binary format, preserving
+// block representations exactly (suitable for checkpointing session
+// variables).
+func WriteGrid(w io.Writer, g *Grid) error { return mio.WriteGrid(w, g) }
+
+// ReadGrid deserializes a grid written by WriteGrid.
+func ReadGrid(r io.Reader) (*Grid, error) { return mio.ReadGrid(r) }
