@@ -7,6 +7,7 @@
 //	dmacbench -exp all
 //	dmacbench -exp fig6 -iters 10
 //	dmacbench -exp fig8 -graph LiveJournal
+//	dmacbench -chaos
 package main
 
 import (
@@ -19,13 +20,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | all")
+	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | chaos | all")
 	iters := flag.Int("iters", 10, "iterations for iterative workloads")
 	scale := flag.Int("scale", 40, "Netflix scale denominator for fig6/table4")
 	graph := flag.String("graph", "soc-pokec", "graph for fig8")
+	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos sweep")
 	flag.Parse()
 
 	w := os.Stdout
+	if *chaos {
+		if err := bench.Chaos(w); err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		return
+	}
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -107,6 +115,9 @@ func main() {
 		}
 		bench.WriteTable4(w, rows)
 		return nil
+	})
+	run("chaos", func() error {
+		return bench.Chaos(w)
 	})
 	run("ablation", func() error {
 		gnmf, err := bench.AblationGNMF(3)

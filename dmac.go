@@ -68,6 +68,17 @@ type (
 	GraphSpec = workload.GraphSpec
 	// UFunc is a named element-wise function for Program.Func.
 	UFunc = matrix.UFunc
+	// FaultPlan deterministically injects worker faults into a session's
+	// cluster (set ClusterConfig.Faults); the runtime recovers via stage
+	// retry and lineage recomputation.
+	FaultPlan = dist.FaultPlan
+	// FaultEvent is one scripted fault of a FaultPlan.
+	FaultEvent = dist.FaultEvent
+	// FaultKind discriminates kill and delay faults.
+	FaultKind = dist.FaultKind
+	// WorkerFailure is the error a stage attempt fails with when a worker is
+	// lost (recovered internally; visible only when retries are exhausted).
+	WorkerFailure = dist.WorkerFailure
 )
 
 // Planner modes.
@@ -87,6 +98,23 @@ const (
 	Col       = dep.Col
 	Broadcast = dep.Broadcast
 )
+
+// Fault kinds for FaultEvent.
+const (
+	// FaultKillBoundary kills a worker at a stage boundary.
+	FaultKillBoundary = dist.FaultKillBoundary
+	// FaultKillTask kills a worker while a stage's block tasks run.
+	FaultKillTask = dist.FaultKillTask
+	// FaultDelay stalls a stage without losing data.
+	FaultDelay = dist.FaultDelay
+)
+
+// RandomFaultPlan returns a seeded fault plan that kills each (stage,
+// worker) pair with the given probability — the same seed always kills the
+// same workers at the same stages.
+func RandomFaultPlan(seed int64, rate float64) FaultPlan {
+	return dist.RandomFaultPlan(seed, rate)
+}
 
 // Element-wise functions for Program.Func.
 const (

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dmac/internal/apps"
+	"dmac/internal/dist"
+	"dmac/internal/engine"
+	"dmac/internal/matrix"
+	"dmac/internal/workload"
+)
+
+// chaosBlockSize keeps the chaos datasets multi-block so every scheme and
+// strategy is exercised while runs stay fast.
+const chaosBlockSize = 8
+
+// ChaosWorkload is one registered workload of the chaos sweep: a seeded
+// deterministic run plus the session variables and scalars whose final
+// values must be bit-identical with and without injected faults.
+type ChaosWorkload struct {
+	// Name labels the workload in reports.
+	Name string
+	// Outputs are the session variables compared against the fault-free run.
+	Outputs []string
+	// Scalars are the driver scalars compared against the fault-free run.
+	Scalars []string
+	// Run executes the workload on a fresh engine. Data generation is
+	// seeded, so every call sees identical inputs.
+	Run func(e *engine.Engine) (*apps.Result, error)
+}
+
+// ChaosWorkloads registers every workload the chaos harness sweeps.
+func ChaosWorkloads() []ChaosWorkload {
+	return []ChaosWorkload{
+		{
+			Name:    "gnmf",
+			Outputs: []string{"W", "H"},
+			Run: func(e *engine.Engine) (*apps.Result, error) {
+				v := workload.SparseUniform(1, 30, 40, chaosBlockSize, 0.3)
+				return apps.GNMF(e, v, 5, 3, 42)
+			},
+		},
+		{
+			Name:    "pagerank",
+			Outputs: []string{"rank"},
+			Run: func(e *engine.Engine) (*apps.Result, error) {
+				adj := workload.PowerLawGraph(2, 28, 3, chaosBlockSize)
+				return apps.PageRank(e, adj, 3, 11)
+			},
+		},
+		{
+			Name:    "cf",
+			Outputs: []string{"predict"},
+			Scalars: []string{"result_norm"},
+			Run: func(e *engine.Engine) (*apps.Result, error) {
+				r := workload.Ratings(3, 24, 36, chaosBlockSize, 0.2)
+				return apps.CF(e, r)
+			},
+		},
+		{
+			Name:    "linreg",
+			Outputs: []string{"w"},
+			Run: func(e *engine.Engine) (*apps.Result, error) {
+				v, y, _ := apps.LabeledData(4, 30, 9, chaosBlockSize, 0.5)
+				return apps.LinReg(e, v, y, 0.1, 3, 17)
+			},
+		},
+	}
+}
+
+// ChaosPlan is a named fault plan of the sweep.
+type ChaosPlan struct {
+	Name string
+	Plan dist.FaultPlan
+}
+
+// ChaosPlans returns the fixed fault plans of the chaos sweep. Stage 1
+// exists in every plan (stages are 1-based), so the scripted kills are
+// guaranteed to fire; the random plan adds seeded kills across all stages.
+func ChaosPlans() []ChaosPlan {
+	return []ChaosPlan{
+		{
+			Name: "boundary-kill",
+			Plan: dist.FaultPlan{Events: []dist.FaultEvent{
+				{Stage: 1, Worker: 1, Attempt: 0, Kind: dist.FaultKillBoundary},
+				{Stage: 2, Worker: 2, Attempt: 0, Kind: dist.FaultDelay, DelaySec: 0.2},
+			}},
+		},
+		{
+			Name: "task-kill",
+			Plan: dist.FaultPlan{Events: []dist.FaultEvent{
+				{Stage: 1, Worker: 2, Attempt: 0, Kind: dist.FaultKillTask},
+				{Stage: 2, Worker: 0, Attempt: 0, Kind: dist.FaultKillBoundary},
+			}},
+		},
+		{
+			Name: "random-15pct",
+			Plan: dist.RandomFaultPlan(7, 0.15),
+		},
+	}
+}
+
+// ChaosResult is one cell of the sweep: a workload run under a fault plan,
+// compared against its fault-free baseline.
+type ChaosResult struct {
+	Workload      string
+	Plan          string
+	Retries       int
+	RecoveryBytes int64
+	CommBytes     int64
+	ModelSec      float64
+	DeadWorkers   int
+	// Match reports whether every output matched the fault-free run
+	// bit-for-bit (tolerance zero).
+	Match bool
+}
+
+// RunChaos sweeps every registered workload across every fault plan on the
+// DMac engine, asserting nothing itself — the Match field carries the
+// verdict for tests and reports.
+func RunChaos() ([]ChaosResult, error) {
+	var out []ChaosResult
+	for _, wl := range ChaosWorkloads() {
+		base := newEngine(engine.DMac, DefaultWorkers, chaosBlockSize)
+		if _, err := wl.Run(base); err != nil {
+			return nil, fmt.Errorf("chaos %s baseline: %w", wl.Name, err)
+		}
+		for _, cp := range ChaosPlans() {
+			cfg := clusterConfig(DefaultWorkers)
+			cfg.Faults = cp.Plan
+			e := engine.New(engine.DMac, cfg, chaosBlockSize)
+			res, err := wl.Run(e)
+			if err != nil {
+				return nil, fmt.Errorf("chaos %s/%s: %w", wl.Name, cp.Name, err)
+			}
+			match := true
+			for _, name := range wl.Outputs {
+				got, ok1 := e.Grid(name)
+				want, ok2 := base.Grid(name)
+				if !ok1 || !ok2 || !matrix.GridEqual(got, want, 0) {
+					match = false
+				}
+			}
+			for _, name := range wl.Scalars {
+				got, ok1 := e.Scalar(name)
+				want, ok2 := base.Scalar(name)
+				if !ok1 || !ok2 || got != want {
+					match = false
+				}
+			}
+			total := res.Total()
+			out = append(out, ChaosResult{
+				Workload:      wl.Name,
+				Plan:          cp.Name,
+				Retries:       total.Retries,
+				RecoveryBytes: total.RecoveryBytes,
+				CommBytes:     total.CommBytes,
+				ModelSec:      total.ModelSeconds,
+				DeadWorkers:   len(e.Cluster().DeadWorkers()),
+				Match:         match,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Chaos runs the sweep and renders it as a report table.
+func Chaos(w io.Writer) error {
+	results, err := RunChaos()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Chaos sweep: DMac under injected worker faults vs fault-free run")
+	fmt.Fprintln(w)
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Workload,
+			r.Plan,
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.RecoveryBytes),
+			fmt.Sprintf("%.3f", gb(r.CommBytes)),
+			fmt.Sprintf("%.3f", r.ModelSec),
+			fmt.Sprintf("%d", r.DeadWorkers),
+			fmt.Sprintf("%v", r.Match),
+		})
+	}
+	writeTable(w, []string{"workload", "plan", "retries", "recovery B", "comm GB", "model s", "dead", "bit-identical"}, rows)
+	return nil
+}

@@ -1,0 +1,69 @@
+package dist_test
+
+import (
+	"testing"
+
+	"dmac/internal/bench"
+)
+
+// TestChaosSweepBitIdentical is the chaos harness's acceptance gate: every
+// registered workload, under every fault plan (two scripted, one seeded
+// random), must complete via stage retry and lineage recovery and produce
+// outputs bit-identical to the fault-free run — with the recovery work
+// visible in the metrics.
+func TestChaosSweepBitIdentical(t *testing.T) {
+	results, err := bench.RunChaos()
+	if err != nil {
+		t.Fatalf("chaos sweep: %v", err)
+	}
+	plans := len(bench.ChaosPlans())
+	if plans < 2 {
+		t.Fatalf("chaos sweep needs >= 2 fault plans, have %d", plans)
+	}
+	wantCells := len(bench.ChaosWorkloads()) * plans
+	if len(results) != wantCells {
+		t.Fatalf("chaos sweep produced %d cells, want %d", len(results), wantCells)
+	}
+	retriesPerWorkload := make(map[string]int)
+	recoveryPerWorkload := make(map[string]int64)
+	for _, r := range results {
+		if !r.Match {
+			t.Errorf("%s under plan %s diverged from the fault-free run", r.Workload, r.Plan)
+		}
+		if r.Retries > 0 && r.DeadWorkers == 0 {
+			t.Errorf("%s/%s reports %d retries with no dead workers", r.Workload, r.Plan, r.Retries)
+		}
+		retriesPerWorkload[r.Workload] += r.Retries
+		recoveryPerWorkload[r.Workload] += r.RecoveryBytes
+	}
+	for wl, retries := range retriesPerWorkload {
+		if retries == 0 {
+			t.Errorf("workload %s never retried under any fault plan", wl)
+		}
+		if recoveryPerWorkload[wl] == 0 {
+			t.Errorf("workload %s reported no recovery bytes under any fault plan", wl)
+		}
+	}
+}
+
+// TestChaosSweepDeterministic runs the sweep twice and requires identical
+// accounting: the same plans must kill the same workers and charge the same
+// recovery bytes — the reproducibility the seeded fault plans promise.
+func TestChaosSweepDeterministic(t *testing.T) {
+	a, err := bench.RunChaos()
+	if err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	b, err := bench.RunChaos()
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sweeps differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("cell %d differs across sweeps:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -39,6 +39,19 @@ type Config struct {
 	// time of every stage is multiplied by the largest slowdown. Used by
 	// the failure-injection tests and the straggler ablation.
 	Stragglers map[int]float64
+	// Faults deterministically kills or delays workers at stage boundaries
+	// or block tasks (seeded, reproducible). The engine recovers via
+	// stage-level retry and lineage-based recomputation; see FaultPlan.
+	Faults FaultPlan
+	// MaxStageRetries caps how many times a stage is retried after worker
+	// failures before the run fails. Defaults to Workers + 2, enough to
+	// lose every expendable worker one retry at a time.
+	MaxStageRetries int
+	// RetryBackoffBaseSec is the modelled backoff before the first stage
+	// retry; it doubles per attempt. Defaults to 50 ms.
+	RetryBackoffBaseSec float64
+	// RetryBackoffCapSec caps the exponential backoff. Defaults to 1 s.
+	RetryBackoffCapSec float64
 }
 
 // MaxSlowdown returns the largest injected slowdown (at least 1).
@@ -68,6 +81,15 @@ func (c Config) withDefaults() Config {
 	if c.FlopsPerSecPerThread <= 0 {
 		c.FlopsPerSecPerThread = 2e9
 	}
+	if c.MaxStageRetries <= 0 {
+		c.MaxStageRetries = c.Workers + 2
+	}
+	if c.RetryBackoffBaseSec <= 0 {
+		c.RetryBackoffBaseSec = 0.05
+	}
+	if c.RetryBackoffCapSec <= 0 {
+		c.RetryBackoffCapSec = 1.0
+	}
 	return c
 }
 
@@ -89,11 +111,20 @@ func ScaledConfig(workers, localParallelism int) Config {
 }
 
 // Cluster is a simulated cluster: local parallel execution plus an
-// instrumented network.
+// instrumented network, and — when a FaultPlan is configured — a fault
+// injector tracking which workers have been lost.
 type Cluster struct {
 	cfg  Config
 	exec *sched.Executor
 	net  *NetStats
+
+	// faultMu guards the fault-injection state below.
+	faultMu sync.Mutex
+	// dead is the set of permanently lost workers.
+	dead map[int]bool
+	// pending is an armed task-kill fault waiting to surface from the next
+	// cluster operator of the current stage attempt.
+	pending *WorkerFailure
 }
 
 // NewCluster creates a cluster from the configuration (zero fields take
@@ -131,22 +162,25 @@ func (c *Cluster) ModelTimeSec() float64 {
 	compute := s.FLOPs * c.cfg.MaxSlowdown() /
 		(float64(c.cfg.Workers*c.cfg.LocalParallelism) * c.cfg.FlopsPerSecPerThread)
 	network := float64(s.Bytes)/c.cfg.BandwidthBytesPerSec + float64(s.CommEvents)*c.cfg.ShuffleLatencySec
-	return compute + network
+	return compute + network + s.StallSec
 }
 
 // NetStats accumulates communication and compute statistics. All methods
 // are safe for concurrent use.
 type NetStats struct {
-	mu         sync.Mutex
-	bytes      int64
-	commEvents int
-	flops      float64
-	stageBytes map[int]int64
+	mu            sync.Mutex
+	bytes         int64
+	commEvents    int
+	flops         float64
+	stageBytes    map[int]int64
+	recoveryBytes int64
+	retries       int
+	stallSec      float64
 }
 
 // Snapshot is a point-in-time copy of the statistics.
 type Snapshot struct {
-	// Bytes is the total data moved across workers.
+	// Bytes is the total data moved across workers (recovery included).
 	Bytes int64
 	// CommEvents counts shuffle/broadcast operations.
 	CommEvents int
@@ -154,6 +188,14 @@ type Snapshot struct {
 	FLOPs float64
 	// StageBytes maps stage index to bytes moved into that stage.
 	StageBytes map[int]int64
+	// RecoveryBytes is the share of Bytes moved to re-partition dead
+	// workers' blocks across survivors after failures.
+	RecoveryBytes int64
+	// Retries counts stage attempts repeated after worker failures.
+	Retries int
+	// StallSec is modelled stalled time: injected delays plus retry
+	// backoff.
+	StallSec float64
 }
 
 // AddComm records a communication of the given bytes feeding the given
@@ -176,6 +218,37 @@ func (n *NetStats) AddFLOPs(f float64) {
 	n.flops += f
 }
 
+// AddRecovery records the recovery shuffle that re-partitions a dead
+// worker's blocks across survivors: the bytes count as ordinary
+// communication feeding the given stage (one shuffle event), and are
+// additionally attributed as recovery cost.
+func (n *NetStats) AddRecovery(stage int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bytes += bytes
+	n.commEvents++
+	if n.stageBytes == nil {
+		n.stageBytes = make(map[int]int64)
+	}
+	n.stageBytes[stage] += bytes
+	n.recoveryBytes += bytes
+}
+
+// AddRetry records one repeated stage attempt.
+func (n *NetStats) AddRetry() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.retries++
+}
+
+// AddStall records modelled stalled seconds (injected delays, retry
+// backoff).
+func (n *NetStats) AddStall(sec float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stallSec += sec
+}
+
 // Snapshot returns a copy of the accumulated statistics.
 func (n *NetStats) Snapshot() Snapshot {
 	n.mu.Lock()
@@ -184,7 +257,15 @@ func (n *NetStats) Snapshot() Snapshot {
 	for k, v := range n.stageBytes {
 		sb[k] = v
 	}
-	return Snapshot{Bytes: n.bytes, CommEvents: n.commEvents, FLOPs: n.flops, StageBytes: sb}
+	return Snapshot{
+		Bytes:         n.bytes,
+		CommEvents:    n.commEvents,
+		FLOPs:         n.flops,
+		StageBytes:    sb,
+		RecoveryBytes: n.recoveryBytes,
+		Retries:       n.retries,
+		StallSec:      n.stallSec,
+	}
 }
 
 // Reset clears the statistics.
@@ -192,6 +273,7 @@ func (n *NetStats) Reset() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.bytes, n.commEvents, n.flops, n.stageBytes = 0, 0, 0, nil
+	n.recoveryBytes, n.retries, n.stallSec = 0, 0, 0
 }
 
 // String summarizes the statistics.

@@ -73,6 +73,9 @@ func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep
 			strategy, want[0], want[1], a.Scheme, b.Scheme)
 	}
 	c.net.AddFLOPs(mulFLOPs(a.Grid, b.Grid))
+	if err := c.opFault(); err != nil {
+		return nil, err
+	}
 	grid, err := c.exec.Mul(a.Grid, b.Grid, sched.InPlace)
 	if err != nil {
 		return nil, err
@@ -87,8 +90,9 @@ func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep
 		if outScheme != dep.Row && outScheme != dep.Col {
 			return nil, fmt.Errorf("dist: CPMM output scheme %s", outScheme)
 		}
-		// Shuffled aggregation of the per-worker partial products.
-		c.net.AddComm(stage, int64(c.cfg.Workers)*out.Bytes())
+		// Shuffled aggregation of the per-worker partial products, across
+		// the workers still alive.
+		c.net.AddComm(stage, int64(c.AliveWorkers())*out.Bytes())
 		out.Scheme = outScheme
 	}
 	return out, nil
@@ -102,6 +106,9 @@ func (c *Cluster) Cellwise(op matrix.BinOp, a, b *DistMatrix) (*DistMatrix, erro
 	}
 	if !a.Scheme.Valid() {
 		return nil, fmt.Errorf("dist: cellwise on scheme %s", a.Scheme)
+	}
+	if err := c.opFault(); err != nil {
+		return nil, err
 	}
 	c.net.AddFLOPs(float64(a.Rows()) * float64(a.Cols()))
 	grid, err := c.exec.Cellwise(op, a.Grid, b.Grid)
@@ -117,6 +124,9 @@ func (c *Cluster) Scalar(op matrix.ScalarOp, a *DistMatrix, v float64) (*DistMat
 	if !a.Scheme.Valid() {
 		return nil, fmt.Errorf("dist: scalar op on scheme %s", a.Scheme)
 	}
+	if err := c.opFault(); err != nil {
+		return nil, err
+	}
 	c.net.AddFLOPs(float64(a.Grid.NNZ()))
 	return &DistMatrix{Grid: c.exec.Scalar(op, a.Grid, v), Scheme: a.Scheme}, nil
 }
@@ -127,22 +137,25 @@ func (c *Cluster) Apply(f matrix.UFunc, a *DistMatrix) (*DistMatrix, error) {
 	if !a.Scheme.Valid() {
 		return nil, fmt.Errorf("dist: ufunc on scheme %s", a.Scheme)
 	}
+	if err := c.opFault(); err != nil {
+		return nil, err
+	}
 	c.net.AddFLOPs(4 * float64(a.Rows()) * float64(a.Cols())) // transcendental-ish cost
 	return &DistMatrix{Grid: c.exec.Apply(f, a.Grid), Scheme: a.Scheme}, nil
 }
 
 // Sum computes the sum of all cells: local partials plus a tiny driver
-// collect (8 bytes per worker).
+// collect (8 bytes per alive worker).
 func (c *Cluster) Sum(a *DistMatrix, stage int) float64 {
 	c.net.AddFLOPs(float64(a.Grid.NNZ()))
-	c.net.AddComm(stage, 8*int64(c.cfg.Workers))
+	c.net.AddComm(stage, 8*int64(c.AliveWorkers()))
 	return matrix.SumGrid(a.Grid)
 }
 
 // Norm2 computes the Frobenius norm with the same collect cost as Sum.
 func (c *Cluster) Norm2(a *DistMatrix, stage int) float64 {
 	c.net.AddFLOPs(2 * float64(a.Grid.NNZ()))
-	c.net.AddComm(stage, 8*int64(c.cfg.Workers))
+	c.net.AddComm(stage, 8*int64(c.AliveWorkers()))
 	return math.Sqrt(matrix.FrobeniusSqGrid(a.Grid))
 }
 
@@ -151,6 +164,9 @@ func (c *Cluster) Value(a *DistMatrix, stage int) (float64, error) {
 	if a.Rows() != 1 || a.Cols() != 1 {
 		return 0, fmt.Errorf("dist: value() on %dx%d matrix", a.Rows(), a.Cols())
 	}
-	c.net.AddComm(stage, 8*int64(c.cfg.Workers))
+	if err := c.opFault(); err != nil {
+		return 0, err
+	}
+	c.net.AddComm(stage, 8*int64(c.AliveWorkers()))
 	return a.Grid.At(0, 0), nil
 }

@@ -42,19 +42,41 @@ func (m *DistMatrix) String() string {
 // Owner returns the worker a block is placed on under the matrix's scheme:
 // block-rows round-robin for Row, block-columns for Col, hash of the block
 // coordinates for hash placement. Broadcast replicas live everywhere
-// (worker 0 is reported).
+// (worker 0 is reported). Blocks whose nominal owner has been killed are
+// deterministically re-assigned across the surviving workers.
 func (c *Cluster) Owner(m *DistMatrix, bi, bj int) int {
 	k := c.cfg.Workers
+	var w int
 	switch m.Scheme {
 	case dep.Row:
-		return bi % k
+		w = bi % k
 	case dep.Col:
-		return bj % k
+		w = bj % k
 	case dep.Broadcast:
-		return 0
+		w = 0
 	default: // hash placement
-		return (bi*m.Grid.BlockCols() + bj) % k
+		w = (bi*m.Grid.BlockCols() + bj) % k
 	}
+	return c.reassignIfDead(w)
+}
+
+// WorkerBytes returns the bytes of the matrix's blocks placed on the given
+// worker — the data lost (and re-fetched from lineage) when that worker
+// dies. Broadcast replicas cost nothing to lose: every survivor already
+// holds a full copy.
+func (c *Cluster) WorkerBytes(m *DistMatrix, w int) int64 {
+	if m.Scheme == dep.Broadcast {
+		return 0
+	}
+	var total int64
+	for bi := 0; bi < m.Grid.BlockRows(); bi++ {
+		for bj := 0; bj < m.Grid.BlockCols(); bj++ {
+			if c.Owner(m, bi, bj) == w {
+				total += m.Grid.Block(bi, bj).MemBytes()
+			}
+		}
+	}
+	return total
 }
 
 // LoadImbalance reports the skew of the matrix's stored bytes across
@@ -94,13 +116,17 @@ func (c *Cluster) Partition(m *DistMatrix, scheme dep.Scheme, stage int) (*DistM
 	if scheme != dep.Row && scheme != dep.Col {
 		return nil, fmt.Errorf("dist: partition to invalid scheme %s", scheme)
 	}
+	if err := c.opFault(); err != nil {
+		return nil, err
+	}
 	c.net.AddComm(stage, m.Bytes())
 	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
 }
 
-// Broadcast replicates the matrix on every worker, charging N x |A|.
+// Broadcast replicates the matrix on every alive worker, charging N x |A|
+// for a full cluster and proportionally less once workers have been lost.
 func (c *Cluster) Broadcast(m *DistMatrix, stage int) *DistMatrix {
-	c.net.AddComm(stage, int64(c.cfg.Workers)*m.Bytes())
+	c.net.AddComm(stage, int64(c.AliveWorkers())*m.Bytes())
 	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast}
 }
 
@@ -112,6 +138,9 @@ func (c *Cluster) Extract(m *DistMatrix, scheme dep.Scheme) (*DistMatrix, error)
 	}
 	if scheme != dep.Row && scheme != dep.Col {
 		return nil, fmt.Errorf("dist: extract to invalid scheme %s", scheme)
+	}
+	if err := c.opFault(); err != nil {
+		return nil, err
 	}
 	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
 }

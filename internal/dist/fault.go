@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// FaultKind discriminates the injectable faults. Kills model Spark worker
+// loss: the stage attempt they hit fails, the worker leaves the cluster for
+// good, and the engine recovers the lost blocks from lineage before
+// retrying. Delays model transient stalls (GC pauses, slow disks) that cost
+// time but no data.
+type FaultKind int
+
+// The injectable fault kinds.
+const (
+	// FaultKillBoundary kills the worker at the stage boundary, before any
+	// task of the stage runs.
+	FaultKillBoundary FaultKind = iota
+	// FaultKillTask kills the worker while the stage's block tasks are
+	// running: the work already done by the attempt is charged, then the
+	// stage fails.
+	FaultKillTask
+	// FaultDelay stalls the stage by DelaySec without losing data.
+	FaultDelay
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultKillBoundary:
+		return "kill-boundary"
+	case FaultKillTask:
+		return "kill-task"
+	case FaultDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent is one scripted fault: at the given stage, on the given retry
+// attempt (0 = the first execution), the given worker fails or stalls.
+type FaultEvent struct {
+	// Stage is the 1-based stage index the fault fires at.
+	Stage int
+	// Worker is the victim worker index.
+	Worker int
+	// Attempt selects which execution attempt of the stage the fault fires
+	// on; 0 is the first attempt, so retries succeed.
+	Attempt int
+	// Kind is the fault type.
+	Kind FaultKind
+	// DelaySec is the stall charged by a FaultDelay event.
+	DelaySec float64
+}
+
+// FaultPlan deterministically injects worker faults at stage boundaries or
+// into running block tasks. A plan combines scripted events with an optional
+// seeded random component: with Rate > 0, each (stage, worker) pair fails
+// with probability Rate, decided by a hash of (Seed, stage, worker) — the
+// same plan always kills the same workers at the same stages, which is what
+// lets the chaos harness assert bit-identical results across runs.
+//
+// Random kills fire on every attempt while their worker is alive, so a
+// stage with several doomed workers loses them one retry at a time; scripted
+// events fire only on their configured attempt. The cluster never kills its
+// last surviving worker: events that would are ignored.
+type FaultPlan struct {
+	// Events are scripted faults.
+	Events []FaultEvent
+	// Seed drives the random component.
+	Seed int64
+	// Rate is the probability a given (stage, worker) pair fails. 0 disables
+	// the random component.
+	Rate float64
+	// TaskFaults makes random kills fire mid-stage (FaultKillTask) instead
+	// of at the stage boundary.
+	TaskFaults bool
+}
+
+// Empty reports whether the plan injects nothing.
+func (p FaultPlan) Empty() bool {
+	return len(p.Events) == 0 && p.Rate <= 0
+}
+
+// RandomFaultPlan returns a purely seeded plan that kills each (stage,
+// worker) pair at stage boundaries with the given probability.
+func RandomFaultPlan(seed int64, rate float64) FaultPlan {
+	return FaultPlan{Seed: seed, Rate: rate}
+}
+
+// hashUnit maps (seed, stage, worker) to a deterministic value in [0, 1).
+func hashUnit(seed int64, stage, worker int) float64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	put := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, uint64(seed))
+	put(8, uint64(stage))
+	put(16, uint64(worker))
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// eventsAt lists the faults the plan fires for one stage attempt on a
+// cluster of the given size, scripted events first, in deterministic order.
+func (p FaultPlan) eventsAt(stage, attempt, workers int) []FaultEvent {
+	var out []FaultEvent
+	for _, ev := range p.Events {
+		if ev.Stage == stage && ev.Attempt == attempt {
+			out = append(out, ev)
+		}
+	}
+	if p.Rate > 0 {
+		kind := FaultKillBoundary
+		if p.TaskFaults {
+			kind = FaultKillTask
+		}
+		for w := 0; w < workers; w++ {
+			if hashUnit(p.Seed, stage, w) < p.Rate {
+				out = append(out, FaultEvent{Stage: stage, Worker: w, Attempt: attempt, Kind: kind})
+			}
+		}
+	}
+	return out
+}
+
+// WorkerFailure is the error a stage attempt fails with when an injected (or,
+// in a real deployment, observed) fault kills a worker. The engine's execute
+// path recovers from it: the dead worker's blocks are re-partitioned across
+// survivors, the recovery shuffle is charged to NetStats, and the stage is
+// retried with capped exponential backoff.
+type WorkerFailure struct {
+	// Worker is the index of the dead worker.
+	Worker int
+	// Stage is the stage the failure surfaced in.
+	Stage int
+	// Attempt is the execution attempt that failed (0-based).
+	Attempt int
+	// Kind is the fault that caused the failure.
+	Kind FaultKind
+}
+
+// Error describes the failure.
+func (f *WorkerFailure) Error() string {
+	return fmt.Sprintf("dist: worker %d lost at stage %d attempt %d (%s)", f.Worker, f.Stage, f.Attempt, f.Kind)
+}
+
+// BeginStage marks the start of one execution attempt of a stage and injects
+// the faults the configured plan scripts for it. Delay faults are charged
+// immediately as stalled time; a boundary kill is returned as a
+// *WorkerFailure; a task kill is armed and surfaces from one of the stage's
+// operators (or at the stage's end if no operator consumed it). Faults
+// naming dead workers, or whose victim is the last survivor, are ignored.
+func (c *Cluster) BeginStage(stage, attempt int) error {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	c.pending = nil
+	var boundary *WorkerFailure
+	for _, ev := range c.cfg.Faults.eventsAt(stage, attempt, c.cfg.Workers) {
+		if ev.Worker < 0 || ev.Worker >= c.cfg.Workers || c.dead[ev.Worker] {
+			continue
+		}
+		switch ev.Kind {
+		case FaultDelay:
+			c.net.AddStall(ev.DelaySec)
+		case FaultKillBoundary:
+			if boundary == nil && c.aliveLocked() > 1 {
+				boundary = &WorkerFailure{Worker: ev.Worker, Stage: stage, Attempt: attempt, Kind: ev.Kind}
+			}
+		case FaultKillTask:
+			if c.pending == nil && c.aliveLocked() > 1 {
+				c.pending = &WorkerFailure{Worker: ev.Worker, Stage: stage, Attempt: attempt, Kind: ev.Kind}
+			}
+		}
+	}
+	if boundary != nil {
+		c.pending = nil
+		return boundary
+	}
+	return nil
+}
+
+// TakeFault consumes the armed task fault, if any. Cluster operators call it
+// so a doomed stage attempt aborts at the first operator after the fault;
+// the engine calls it once more at stage end so a fault is never lost even
+// if the stage ran no fault-checked operator.
+func (c *Cluster) TakeFault() *WorkerFailure {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	f := c.pending
+	c.pending = nil
+	return f
+}
+
+// opFault adapts TakeFault to the error-returning cluster operators.
+func (c *Cluster) opFault() error {
+	if f := c.TakeFault(); f != nil {
+		return f
+	}
+	return nil
+}
+
+// KillWorker permanently removes a worker from the cluster. The last
+// survivor cannot be killed; the return value reports whether the worker was
+// actually removed. Subsequent block placement maps the dead worker's blocks
+// onto survivors (see Owner), and broadcasts and driver collects are charged
+// for the surviving workers only.
+func (c *Cluster) KillWorker(w int) bool {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	if w < 0 || w >= c.cfg.Workers || c.dead[w] || c.aliveLocked() <= 1 {
+		return false
+	}
+	if c.dead == nil {
+		c.dead = make(map[int]bool)
+	}
+	c.dead[w] = true
+	return true
+}
+
+// AliveWorkers returns the number of workers still in the cluster.
+func (c *Cluster) AliveWorkers() int {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	return c.aliveLocked()
+}
+
+func (c *Cluster) aliveLocked() int {
+	return c.cfg.Workers - len(c.dead)
+}
+
+// DeadWorkers lists the killed workers in ascending order.
+func (c *Cluster) DeadWorkers() []int {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	out := make([]int, 0, len(c.dead))
+	for w := range c.dead {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// reassignIfDead maps a block owner onto a surviving worker: dead workers'
+// blocks are spread deterministically across the alive set.
+func (c *Cluster) reassignIfDead(w int) int {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	if !c.dead[w] {
+		return w
+	}
+	alive := make([]int, 0, c.aliveLocked())
+	for i := 0; i < c.cfg.Workers; i++ {
+		if !c.dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	return alive[w%len(alive)]
+}

@@ -72,6 +72,11 @@ type Metrics struct {
 	Stages int
 	// StageBytes maps plan stages to the bytes shuffled into them.
 	StageBytes map[int]int64
+	// Retries counts stage attempts repeated after worker failures.
+	Retries int
+	// RecoveryBytes is the share of CommBytes spent re-partitioning dead
+	// workers' blocks across survivors after failures.
+	RecoveryBytes int64
 }
 
 // Add accumulates other into m (for per-iteration totals).
@@ -81,6 +86,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.CommBytes += other.CommBytes
 	m.CommEvents += other.CommEvents
 	m.FLOPs += other.FLOPs
+	m.Retries += other.Retries
+	m.RecoveryBytes += other.RecoveryBytes
 	if other.Stages > m.Stages {
 		m.Stages = other.Stages
 	}
@@ -213,15 +220,19 @@ func (e *Engine) Scalar(name string) (float64, bool) {
 // passed to Run).
 func (e *Engine) SetScalar(name string, v float64) { e.scalars[name] = v }
 
-// Grid returns a materialized session variable's data (any cached instance)
-// for verification and export, and whether the variable exists.
+// Grid returns a materialized session variable's data for verification and
+// export, and whether the variable exists. Instances are probed in a fixed
+// scheme order so repeated calls (and repeated runs) always return the same
+// instance — map iteration order must not leak into results.
 func (e *Engine) Grid(name string) (*matrix.Grid, bool) {
 	vs, ok := e.vars[name]
 	if !ok {
 		return nil, false
 	}
-	for _, inst := range vs.instances {
-		return inst.Grid, true
+	for _, s := range []dep.Scheme{dep.Row, dep.Col, dep.Broadcast, dep.SchemeNone} {
+		if inst, ok := vs.instances[s]; ok {
+			return inst.Grid, true
+		}
 	}
 	return nil, false
 }
@@ -332,10 +343,12 @@ func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages 
 	bytes := after.Bytes - before.Bytes
 	events := after.CommEvents - before.CommEvents
 	flops := after.FLOPs - before.FLOPs
+	stall := after.StallSec - before.StallSec
 	threads := float64(cfg.Workers * cfg.LocalParallelism)
 	model := flops*cfg.MaxSlowdown()/(threads*cfg.FlopsPerSecPerThread) +
 		float64(bytes)/cfg.BandwidthBytesPerSec +
-		float64(events)*cfg.ShuffleLatencySec
+		float64(events)*cfg.ShuffleLatencySec +
+		stall
 	stageBytes := make(map[int]int64)
 	for k, v := range after.StageBytes {
 		if d := v - before.StageBytes[k]; d > 0 {
@@ -343,12 +356,14 @@ func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages 
 		}
 	}
 	return Metrics{
-		WallSeconds:  wall,
-		ModelSeconds: model,
-		CommBytes:    bytes,
-		CommEvents:   events,
-		FLOPs:        flops,
-		Stages:       stages,
-		StageBytes:   stageBytes,
+		WallSeconds:   wall,
+		ModelSeconds:  model,
+		CommBytes:     bytes,
+		CommEvents:    events,
+		FLOPs:         flops,
+		Stages:        stages,
+		StageBytes:    stageBytes,
+		Retries:       after.Retries - before.Retries,
+		RecoveryBytes: after.RecoveryBytes - before.RecoveryBytes,
 	}
 }

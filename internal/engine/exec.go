@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"dmac/internal/core"
 	"dmac/internal/dep"
@@ -9,11 +12,112 @@ import (
 	"dmac/internal/expr"
 )
 
-// execute walks a validated plan in order, materializing each value on the
-// cluster, then folds assignments and scalar outputs back into the session.
+// execute materializes a validated plan on the cluster stage by stage, then
+// folds assignments and scalar outputs back into the session.
+//
+// Stages are the fault-tolerance unit, exactly as on the paper's Spark
+// substrate: every op's stage is >= the stage of each of its input values,
+// so running stages in ascending order (keeping the plan's op order within a
+// stage) is a valid topological order, and a failed stage can be retried in
+// isolation once its inputs are recovered.
 func (e *Engine) execute(plan *core.Plan, params map[string]float64) error {
 	vals := make([]*dist.DistMatrix, len(plan.Values))
-	for i, op := range plan.Ops {
+	var stages []int
+	byStage := make(map[int][]*core.Op)
+	for _, op := range plan.Ops {
+		if _, ok := byStage[op.Stage]; !ok {
+			stages = append(stages, op.Stage)
+		}
+		byStage[op.Stage] = append(byStage[op.Stage], op)
+	}
+	sort.Ints(stages)
+	valueStage := make([]int, len(plan.Values))
+	for i := range valueStage {
+		valueStage[i] = -1
+	}
+	for _, op := range plan.Ops {
+		if op.Output >= 0 {
+			valueStage[op.Output] = op.Stage
+		}
+	}
+	for _, s := range stages {
+		if err := e.runStage(plan, s, byStage[s], vals, valueStage, params); err != nil {
+			return err
+		}
+	}
+	e.cacheLeafInstances(plan, vals)
+	return e.commitAssignments(plan, vals)
+}
+
+// runStage executes one stage's ops, retrying on injected worker failures
+// with capped exponential backoff. Each failed attempt recovers the stage's
+// inputs from lineage (session instances and earlier stages' values) before
+// the retry; the ops themselves are deterministic functions of their inputs,
+// so a retried stage reproduces the exact blocks of a fault-free run.
+func (e *Engine) runStage(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, valueStage []int, params map[string]float64) error {
+	cfg := e.cluster.Config()
+	for attempt := 0; ; attempt++ {
+		err := e.cluster.BeginStage(stage, attempt)
+		if err == nil {
+			err = e.runOps(plan, stage, ops, vals, params)
+		}
+		if err == nil {
+			// An armed task kill that no operator of this stage consumed
+			// still fails the attempt.
+			if f := e.cluster.TakeFault(); f != nil {
+				err = f
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		var wf *dist.WorkerFailure
+		if !errors.As(err, &wf) || attempt >= cfg.MaxStageRetries {
+			return err
+		}
+		e.recoverStage(plan, stage, ops, vals, valueStage, wf)
+		backoff := cfg.RetryBackoffBaseSec * math.Pow(2, float64(attempt))
+		if backoff > cfg.RetryBackoffCapSec {
+			backoff = cfg.RetryBackoffCapSec
+		}
+		e.cluster.Net().AddStall(backoff)
+		e.cluster.Net().AddRetry()
+	}
+}
+
+// recoverStage performs lineage-based recovery after a worker failure: the
+// stage's inputs — values materialized by earlier stages plus the session
+// instances its leaf ops read — lose the dead worker's blocks, which must be
+// re-fetched from lineage and re-partitioned across survivors. The dead
+// worker's share is measured against pre-failure ownership (before the kill
+// takes effect), then the worker is removed and the recovery shuffle is
+// charged.
+func (e *Engine) recoverStage(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, valueStage []int, wf *dist.WorkerFailure) {
+	var bytes int64
+	seen := make(map[core.ValueID]bool)
+	for _, op := range ops {
+		if op.Kind == core.OpLoad || op.Kind == core.OpVar {
+			if inst, err := e.leafInstance(op, plan); err == nil {
+				bytes += e.cluster.WorkerBytes(inst, wf.Worker)
+			}
+		}
+		for _, id := range op.Inputs {
+			if id < 0 || seen[id] || vals[id] == nil || valueStage[id] >= stage {
+				continue
+			}
+			seen[id] = true
+			bytes += e.cluster.WorkerBytes(vals[id], wf.Worker)
+		}
+	}
+	if e.cluster.KillWorker(wf.Worker) {
+		e.cluster.Net().AddRecovery(stage, bytes)
+	}
+}
+
+// runOps executes one stage's ops in plan order against the shared value
+// table.
+func (e *Engine) runOps(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, params map[string]float64) error {
+	for i, op := range ops {
 		var (
 			out *dist.DistMatrix
 			err error
@@ -37,20 +141,19 @@ func (e *Engine) execute(plan *core.Plan, params map[string]float64) error {
 		case core.OpCompute:
 			out, err = e.compute(plan, op, vals, params)
 		default:
-			return fmt.Errorf("engine: op %d has unexpected kind %v", i, op.Kind)
+			return fmt.Errorf("engine: stage %d op %d has unexpected kind %v", stage, i, op.Kind)
 		}
 		if err != nil {
-			return fmt.Errorf("engine: op %d (%s): %w", i, op.Kind, err)
+			return fmt.Errorf("engine: stage %d op %d (%s): %w", stage, i, op.Kind, err)
 		}
 		if op.Output >= 0 {
 			if out == nil {
-				return fmt.Errorf("engine: op %d produced no value", i)
+				return fmt.Errorf("engine: stage %d op %d produced no value", stage, i)
 			}
 			vals[op.Output] = out
 		}
 	}
-	e.cacheLeafInstances(plan, vals)
-	return e.commitAssignments(plan, vals)
+	return nil
 }
 
 // cacheLeafInstances merges the repartitioned instances of input variables

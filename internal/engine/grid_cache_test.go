@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"testing"
+
+	"dmac/internal/dep"
+	"dmac/internal/dist"
+	"dmac/internal/matrix"
+)
+
+// TestGridDeterministicInstance is the regression test for Grid's old
+// map-iteration nondeterminism: a variable cached under several schemes must
+// always resolve to the same instance, in the fixed Row > Col > Broadcast >
+// hash preference order.
+func TestGridDeterministicInstance(t *testing.T) {
+	e := New(DMac, testConfig(), tBS)
+	mark := func(v float64) *matrix.Grid {
+		g := matrix.NewDenseGrid(2, 2, tBS)
+		g.Set(0, 0, v)
+		return g
+	}
+	instances := map[dep.Scheme]*dist.DistMatrix{
+		dep.Col:        dist.NewDistMatrix(mark(2), dep.Col),
+		dep.SchemeNone: dist.NewDistMatrix(mark(4), dep.SchemeNone),
+		dep.Broadcast:  dist.NewDistMatrix(mark(3), dep.Broadcast),
+		dep.Row:        dist.NewDistMatrix(mark(1), dep.Row),
+	}
+	e.vars["X"] = &varState{rows: 2, cols: 2, instances: instances}
+	for i := 0; i < 50; i++ {
+		g, ok := e.Grid("X")
+		if !ok {
+			t.Fatal("Grid lost the variable")
+		}
+		if got := g.At(0, 0); got != 1 {
+			t.Fatalf("call %d returned instance %v, want the Row instance (1)", i, got)
+		}
+	}
+	// Without a Row instance the next scheme in the fixed order wins.
+	delete(instances, dep.Row)
+	if g, _ := e.Grid("X"); g.At(0, 0) != 2 {
+		t.Errorf("without Row, Grid returned %v, want the Col instance (2)", g.At(0, 0))
+	}
+	if _, ok := e.Grid("missing"); ok {
+		t.Error("Grid invented a variable")
+	}
+}
+
+// TestPlanCacheInvalidationOnRebind mutates the session schemes between Run
+// calls on the same *expr.Program — re-binding V resets it to a single
+// hash-partitioned instance — and requires the cache to miss and re-plan
+// correctly rather than reuse a plan whose leaf schemes no longer exist.
+func TestPlanCacheInvalidationOnRebind(t *testing.T) {
+	e := New(DMac, testConfig(), tBS)
+	v, _, _ := bindGNMF(t, e)
+	prog := gnmfProgram(0.3)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(prog, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsBefore, missesBefore := e.PlanCacheStats()
+	if hitsBefore == 0 {
+		t.Fatalf("no cache hits after 3 identical runs (misses=%d)", missesBefore)
+	}
+	// V has been cached under the schemes the plan repartitioned it to;
+	// re-binding wipes them, so the cached plan's signature is stale.
+	if err := e.Bind("V", v.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.VarSchemes("V"); len(got) != 1 || got[0] != dep.SchemeNone {
+		t.Fatalf("re-bound V has schemes %v, want [none]", got)
+	}
+	m, err := e.Run(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := e.PlanCacheStats()
+	if missesAfter != missesBefore+1 {
+		t.Errorf("misses = %d after re-bind, want %d (stale plan must not be reused)", missesAfter, missesBefore+1)
+	}
+	// The re-plan repartitions the fresh hash-partitioned V again: real
+	// communication, and a correct result.
+	if m.CommBytes <= 0 {
+		t.Errorf("re-planned run moved %d bytes, want > 0", m.CommBytes)
+	}
+	wGrid, ok := e.Grid("W")
+	if !ok {
+		t.Fatal("W missing after re-planned run")
+	}
+	if r, c := wGrid.Rows(), wGrid.Cols(); r != tRows || c != tK {
+		t.Errorf("W is %dx%d, want %dx%d", r, c, tRows, tK)
+	}
+}

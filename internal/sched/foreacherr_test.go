@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachErrReturnsFirstError(t *testing.T) {
+	e := NewExecutor(4, nil)
+	sentinel := errors.New("boom")
+	err := e.ForEachErr(100, func(i int) error {
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("ForEachErr = %v, want sentinel", err)
+	}
+	if err := e.ForEachErr(100, func(int) error { return nil }); err != nil {
+		t.Errorf("ForEachErr with no failures = %v", err)
+	}
+}
+
+func TestForEachErrCancelsRemainingTasks(t *testing.T) {
+	e := NewExecutor(2, nil)
+	const n = 10000
+	var ran atomic.Int32
+	err := e.ForEachErr(n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("ForEachErr returned nil after a task failed")
+	}
+	// Task 0 is the first task a worker pulls; once it fails, the rest of the
+	// queue is drained without running. A couple of in-flight tasks may
+	// complete, but nothing close to the full queue should.
+	if got := ran.Load(); got > n/2 {
+		t.Errorf("%d of %d tasks ran after cancellation", got, n)
+	}
+}
+
+func TestForEachErrSequentialStopsAtError(t *testing.T) {
+	e := NewExecutor(1, nil)
+	var ran int
+	err := e.ForEachErr(100, func(i int) error {
+		ran++
+		if i == 5 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 6 {
+		t.Errorf("sequential path ran %d tasks (err=%v), want 6 with error", ran, err)
+	}
+}
+
+// TestForEachNested runs ForEach from inside ForEach tasks — the shape a
+// distributed op takes when a stage-level loop fans out block-level loops —
+// and checks every inner task runs exactly once. Run with -race this guards
+// the executor's reentrancy.
+func TestForEachNested(t *testing.T) {
+	e := NewExecutor(4, nil)
+	const outer, inner = 8, 50
+	var counts [outer * inner]atomic.Int32
+	e.ForEach(outer, func(i int) {
+		e.ForEach(inner, func(j int) {
+			counts[i*inner+j].Add(1)
+		})
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("inner task %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachErrNestedPropagates(t *testing.T) {
+	e := NewExecutor(4, nil)
+	sentinel := errors.New("inner boom")
+	err := e.ForEachErr(8, func(i int) error {
+		return e.ForEachErr(8, func(j int) error {
+			if i == 3 && j == 4 {
+				return sentinel
+			}
+			return nil
+		})
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("nested ForEachErr = %v, want sentinel", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dmac/internal/matrix"
 )
@@ -53,8 +54,21 @@ func (e *Executor) Pool() *BufferPool { return e.pool }
 // until all tasks complete. Tasks are pulled from a shared queue, matching
 // the task-queue model of Figure 4.
 func (e *Executor) ForEach(n int, fn func(i int)) {
+	e.ForEachErr(n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr runs fn(i) for i in [0, n) on the executor's threads and
+// returns the first error any task produced. Once a task fails, remaining
+// queued tasks are cancelled (drained without running) — the task-level
+// cancellation a failed stage attempt needs so a worker death doesn't
+// compute the rest of the stage for nothing. Tasks already running are
+// allowed to finish.
+func (e *Executor) ForEachErr(n int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers := e.parallelism
 	if workers > n {
@@ -62,26 +76,42 @@ func (e *Executor) ForEach(n int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	queue := make(chan int, n)
 	for i := 0; i < n; i++ {
 		queue <- i
 	}
 	close(queue)
+	var failed atomic.Bool
+	var firstErr error
+	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range queue {
-				fn(i)
+				if failed.Load() {
+					continue // drain cancelled tasks without running them
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // MulStrategy selects the local aggregation strategy for blocked matrix
@@ -204,24 +234,18 @@ func (e *Executor) Cellwise(op matrix.BinOp, a, b *matrix.Grid) (*matrix.Grid, e
 	}
 	out := matrix.NewGrid(a.Rows(), a.Cols(), a.BlockSize())
 	bcols := a.BlockCols()
-	var firstErr error
-	var mu sync.Mutex
-	e.ForEach(a.BlockRows()*bcols, func(idx int) {
+	err := e.ForEachErr(a.BlockRows()*bcols, func(idx int) error {
 		bi, bj := idx/bcols, idx%bcols
 		blk, err := matrix.Cellwise(op, a.Block(bi, bj), b.Block(bi, bj))
 		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-			return
+			return err
 		}
 		e.mem.Add(blk.MemBytes())
 		out.SetBlock(bi, bj, blk)
+		return nil
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
