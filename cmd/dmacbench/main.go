@@ -8,11 +8,13 @@
 //	dmacbench -exp fig6 -iters 10
 //	dmacbench -exp fig8 -graph LiveJournal
 //	dmacbench -chaos
+//	dmacbench -trace out.json -metrics-out metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -25,9 +27,18 @@ func main() {
 	scale := flag.Int("scale", 40, "Netflix scale denominator for fig6/table4")
 	graph := flag.String("graph", "soc-pokec", "graph for fig8")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos sweep")
+	tracePath := flag.String("trace", "", "run a traced workload and write Chrome trace JSON to this path (skips -exp)")
+	traceApp := flag.String("trace-app", "pagerank", "application the -trace run executes: pagerank | gnmf | linreg")
+	metricsPath := flag.String("metrics-out", "", "with -trace, also write the metrics registry dump to this path")
 	flag.Parse()
 
 	w := os.Stdout
+	if *tracePath != "" {
+		if err := runTraced(w, *traceApp, *tracePath, *metricsPath, *iters, *scale); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
 	if *chaos {
 		if err := bench.Chaos(w); err != nil {
 			log.Fatalf("chaos: %v", err)
@@ -141,4 +152,40 @@ func main() {
 		bench.WriteAblation(w, "Ablation: Re-assignment on its trigger workload", reassign)
 		return nil
 	})
+}
+
+// runTraced executes one traced workload and writes the Chrome trace JSON
+// (and optionally the metrics dump), then prints the timeline report.
+func runTraced(w io.Writer, app, tracePath, metricsPath string, iters, scale int) error {
+	res, err := bench.TracedRun(app, iters, scale, 0)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	var mf *os.File
+	if metricsPath != "" {
+		if mf, err = os.Create(metricsPath); err != nil {
+			return err
+		}
+		defer mf.Close()
+	}
+	var mw io.Writer
+	if mf != nil {
+		mw = mf
+	}
+	fmt.Fprintf(w, "traced %s: %d comm events, %.3f MB\n\n", app, res.Net.CommEvents, float64(res.Net.Bytes)/1e6)
+	if err := res.WriteTraceArtifacts(tf, mw, w); err != nil {
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if mf != nil {
+		return mf.Close()
+	}
+	return nil
 }

@@ -4,12 +4,14 @@
 // Usage:
 //
 //	dmacrun -app gnmf -planner dmac -iters 5 -scale 40 -workers 4
+//	dmacrun -app pagerank -trace trace.json -metrics-out metrics.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dmac"
 )
@@ -21,6 +23,8 @@ func main() {
 	scale := flag.Int("scale", 40, "dataset scale denominator")
 	workers := flag.Int("workers", 4, "cluster workers")
 	k := flag.Int("k", 32, "factor size / rank where applicable")
+	tracePath := flag.String("trace", "", "write a Chrome trace JSON of the run to this path")
+	metricsPath := flag.String("metrics-out", "", "write the metrics registry dump to this path")
 	flag.Parse()
 
 	var planner dmac.Planner
@@ -35,9 +39,30 @@ func main() {
 		log.Fatalf("unknown planner %q", *plannerName)
 	}
 
-	res, err := run(*app, planner, *iters, *scale, *workers, *k)
+	var tracer *dmac.Tracer
+	var registry *dmac.MetricsRegistry
+	if *tracePath != "" || *metricsPath != "" {
+		tracer = dmac.NewTracer()
+		registry = dmac.NewMetricsRegistry()
+	}
+
+	res, err := run(*app, planner, *iters, *scale, *workers, *k, tracer, registry)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, func(f *os.File) error {
+			return dmac.WriteChromeTrace(f, tracer.Spans())
+		}); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, func(f *os.File) error {
+			return dmac.WriteMetricsJSON(f, registry.Snapshot())
+		}); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
 	}
 	fmt.Printf("\n%-4s %12s %12s %10s %8s\n", "iter", "model s", "comm MB", "shuffles", "stages")
 	for i, m := range res.PerIteration {
@@ -51,13 +76,34 @@ func main() {
 	}
 }
 
-func run(app string, planner dmac.Planner, iters, scale, workers, k int) (*dmac.AppResult, error) {
+// writeFile creates path, hands it to write, and closes it, surfacing write
+// and close errors.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(app string, planner dmac.Planner, iters, scale, workers, k int, tracer *dmac.Tracer, registry *dmac.MetricsRegistry) (*dmac.AppResult, error) {
 	cfg := dmac.ClusterConfig{Workers: workers, LocalParallelism: 8}
+	newSession := func(bs int) *dmac.Session {
+		s := dmac.NewSession(planner, cfg, bs)
+		if tracer != nil || registry != nil {
+			s.SetObserver(tracer, registry)
+		}
+		return s
+	}
 	switch app {
 	case "gnmf":
 		movies, users := dmac.Netflix.Movies/scale, dmac.Netflix.Users/scale
 		bs := dmac.ChooseBlockSize(movies, users, 8, workers)
-		s := dmac.NewSession(planner, cfg, bs)
+		s := newSession(bs)
 		_, _, v := dmac.Netflix.Scaled(scale, bs)
 		fmt.Printf("GNMF on %dx%d ratings, k=%d, %s\n", movies, users, k, planner)
 		return dmac.GNMF(s, v, k, iters, 42)
@@ -65,13 +111,13 @@ func run(app string, planner dmac.Planner, iters, scale, workers, k int) (*dmac.
 		spec, _ := dmac.GraphByName("soc-pokec")
 		nodes := spec.ScaledNodes(scale)
 		bs := dmac.ChooseBlockSize(nodes, nodes, 8, workers)
-		s := dmac.NewSession(planner, cfg, bs)
+		s := newSession(bs)
 		fmt.Printf("PageRank on soc-pokec/%d (%d nodes), %s\n", scale, nodes, planner)
 		return dmac.PageRank(s, spec.Generate(scale, bs).Adjacency, iters, 7)
 	case "linreg":
 		rows, cols := 800000/scale, 500
 		bs := dmac.ChooseBlockSize(rows, cols, 8, workers)
-		s := dmac.NewSession(planner, cfg, bs)
+		s := newSession(bs)
 		v := dmac.SparseUniform(3, rows, cols, bs, 10.0/float64(cols))
 		y := dmac.DenseRandom(4, rows, 1, bs)
 		fmt.Printf("LinReg on %dx%d, %s\n", rows, cols, planner)
@@ -79,14 +125,14 @@ func run(app string, planner dmac.Planner, iters, scale, workers, k int) (*dmac.
 	case "cf":
 		movies, users := dmac.Netflix.Movies/scale, dmac.Netflix.Users/scale
 		bs := dmac.ChooseBlockSize(movies, users, 8, workers)
-		s := dmac.NewSession(planner, cfg, bs)
+		s := newSession(bs)
 		_, _, r := dmac.Netflix.Scaled(scale, bs)
 		fmt.Printf("CF on %dx%d ratings, %s\n", movies, users, planner)
 		return dmac.CF(s, r)
 	case "svd":
 		movies, users := dmac.Netflix.Movies/scale, dmac.Netflix.Users/scale
 		bs := dmac.ChooseBlockSize(movies, users, 8, workers)
-		s := dmac.NewSession(planner, cfg, bs)
+		s := newSession(bs)
 		_, _, v := dmac.Netflix.Scaled(scale, bs)
 		fmt.Printf("SVD on %dx%d ratings, rank %d, %s\n", movies, users, k, planner)
 		res, sv, err := dmac.SVD(s, v, k, 11)

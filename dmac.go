@@ -35,6 +35,7 @@ import (
 	"dmac/internal/engine"
 	"dmac/internal/expr"
 	"dmac/internal/matrix"
+	"dmac/internal/obs"
 	"dmac/internal/sched"
 	"dmac/internal/workload"
 )
@@ -79,6 +80,30 @@ type (
 	// WorkerFailure is the error a stage attempt fails with when a worker is
 	// lost (recovered internally; visible only when retries are exhausted).
 	WorkerFailure = dist.WorkerFailure
+	// Tracer records execution spans when attached to a session with
+	// Session.SetObserver; a nil Tracer is a valid no-op.
+	Tracer = obs.Tracer
+	// MetricsRegistry collects counters, gauges and histograms when attached
+	// to a session with Session.SetObserver; nil is a valid no-op.
+	MetricsRegistry = obs.Registry
+	// TraceSpan is one recorded span of a Tracer.
+	TraceSpan = obs.Span
+)
+
+// NewTracer returns an enabled execution tracer for Session.SetObserver.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry for
+// Session.SetObserver.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Trace exporters (see internal/obs): WriteChromeTrace emits chrome://tracing
+// JSON, WriteTimeline prints the human-readable per-stage report,
+// WriteMetricsJSON dumps a registry snapshot.
+var (
+	WriteChromeTrace = obs.WriteChromeTrace
+	WriteTimeline    = obs.WriteTimeline
+	WriteMetricsJSON = obs.WriteMetricsJSON
 )
 
 // Planner modes.

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"dmac/internal/apps"
+	"dmac/internal/dist"
+	"dmac/internal/engine"
+	"dmac/internal/obs"
+	"dmac/internal/sched"
+	"dmac/internal/workload"
+)
+
+// TraceResult bundles the observability artifacts of one traced
+// application run: the recorded spans, the metrics registry, the network
+// totals the run charged, and the per-iteration engine metrics.
+type TraceResult struct {
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
+	// Net is the instrumented network's totals over the whole traced run.
+	// By construction the byte sums of the trace's "comm" spans equal
+	// Net.Bytes exactly (asserted in trace_test.go).
+	Net    dist.Snapshot
+	Result *apps.Result
+}
+
+// TracedRun executes one bundled application on a fresh DMac engine with a
+// tracer and a metrics registry attached — the workload behind
+// `dmacbench -trace` and `dmactrace -app`. scale is the dataset scale
+// denominator (as in dmacrun).
+func TracedRun(app string, iters, scale, workers int) (*TraceResult, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	if scale <= 0 {
+		scale = 40
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	tracer := obs.NewTracer()
+	registry := obs.NewRegistry()
+	cfg := clusterConfig(workers)
+	var (
+		res *apps.Result
+		e   *engine.Engine
+		err error
+	)
+	switch app {
+	case "pagerank":
+		spec, _ := workload.GraphByName("soc-pokec")
+		nodes := spec.ScaledNodes(scale)
+		bs := sched.ChooseBlockSize(nodes, nodes, DefaultLocalParallelism, workers)
+		e = engine.New(engine.DMac, cfg, bs)
+		e.SetObserver(tracer, registry)
+		res, err = apps.PageRank(e, spec.Generate(scale, bs).Adjacency, iters, 7)
+	case "gnmf":
+		movies, users := workload.Netflix.Movies/scale, workload.Netflix.Users/scale
+		bs := sched.ChooseBlockSize(movies, users, DefaultLocalParallelism, workers)
+		e = engine.New(engine.DMac, cfg, bs)
+		e.SetObserver(tracer, registry)
+		_, _, v := workload.Netflix.Scaled(scale, bs)
+		res, err = apps.GNMF(e, v, 8, iters, 42)
+	case "linreg":
+		rows, cols := 800000/scale, 500
+		bs := sched.ChooseBlockSize(rows, cols, DefaultLocalParallelism, workers)
+		e = engine.New(engine.DMac, cfg, bs)
+		e.SetObserver(tracer, registry)
+		v := workload.SparseUniform(3, rows, cols, bs, 10.0/float64(cols))
+		y := workload.DenseRandom(4, rows, 1, bs)
+		res, err = apps.LinReg(e, v, y, 1e-6, iters, 5)
+	default:
+		return nil, fmt.Errorf("bench: no traced workload %q (want pagerank, gnmf, linreg)", app)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Tracer:   tracer,
+		Registry: registry,
+		Net:      e.Cluster().Net().Snapshot(),
+		Result:   res,
+	}, nil
+}
+
+// WriteTraceArtifacts writes the Chrome trace JSON to traceOut and (when
+// metricsOut is non-nil) the metrics dump, then prints the per-stage
+// timeline to report.
+func (t *TraceResult) WriteTraceArtifacts(traceOut, metricsOut, report io.Writer) error {
+	spans := t.Tracer.Spans()
+	if traceOut != nil {
+		if err := obs.WriteChromeTrace(traceOut, spans); err != nil {
+			return err
+		}
+	}
+	if metricsOut != nil {
+		if err := obs.WriteMetricsJSON(metricsOut, t.Registry.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if report != nil {
+		obs.WriteTimeline(report, spans)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dmac/internal/obs"
+)
+
+// TestTraceBytesMatchNetStats is the observability layer's accounting
+// invariant: the byte sums of the trace's "comm" spans equal the bytes the
+// instrumented network charged — exactly, over a full PageRank run. Every
+// NetStats charge site must emit a matching comm span for this to hold.
+func TestTraceBytesMatchNetStats(t *testing.T) {
+	res, err := TracedRun("pagerank", 3, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spanBytes int64
+	var commEvents int
+	for _, s := range res.Tracer.Spans() {
+		if s.Cat != "comm" {
+			continue
+		}
+		commEvents++
+		a, ok := s.Attr("bytes")
+		if !ok {
+			t.Fatalf("comm span %q has no bytes attribute", s.Name)
+		}
+		spanBytes += a.Int
+	}
+	if spanBytes != res.Net.Bytes {
+		t.Fatalf("trace comm bytes = %d, NetStats.Bytes = %d (every charge site must trace)",
+			spanBytes, res.Net.Bytes)
+	}
+	if commEvents != res.Net.CommEvents {
+		t.Fatalf("trace comm events = %d, NetStats.CommEvents = %d", commEvents, res.Net.CommEvents)
+	}
+	// The same totals must survive the Chrome trace JSON round trip.
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, res.Tracer.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace JSON holds no events")
+	}
+	sum := obs.Summarize(obs.EventsToSpans(events))
+	if sum.TotalBytes != res.Net.Bytes {
+		t.Fatalf("round-tripped trace bytes = %d, NetStats.Bytes = %d", sum.TotalBytes, res.Net.Bytes)
+	}
+}
+
+// TestGNMFCommEventCounts pins the broadcast/shuffle event counts of a fixed
+// GNMF plan (3 iterations at 1/100 Netflix scale on 4 workers). A planner or
+// runtime change that alters how dependencies are satisfied shows up here as
+// a count shift, which is the point: update deliberately, with the change
+// that moved them.
+func TestGNMFCommEventCounts(t *testing.T) {
+	res, err := TracedRun("gnmf", 3, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantBroadcasts, wantShuffles = 6, 11
+	if res.Net.Broadcasts != wantBroadcasts {
+		t.Errorf("Broadcasts = %d, want %d", res.Net.Broadcasts, wantBroadcasts)
+	}
+	if res.Net.Shuffles != wantShuffles {
+		t.Errorf("Shuffles = %d, want %d", res.Net.Shuffles, wantShuffles)
+	}
+	if got := res.Net.Broadcasts + res.Net.Shuffles; got != res.Net.CommEvents {
+		t.Errorf("Broadcasts+Shuffles = %d, CommEvents = %d (must partition exactly)",
+			got, res.Net.CommEvents)
+	}
+}
+
+// TestTracedRunTimeline checks the human-readable report names a dominant
+// communication pattern and renders one row per stage.
+func TestTracedRunTimeline(t *testing.T) {
+	res, err := TracedRun("pagerank", 2, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.WriteTraceArtifacts(nil, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dominant communication:", "stage", "comm kind"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracedRunUnknownApp(t *testing.T) {
+	if _, err := TracedRun("nope", 1, 40, 4); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -14,7 +14,9 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"dmac/internal/obs"
 	"dmac/internal/sched"
 )
 
@@ -118,6 +120,17 @@ type Cluster struct {
 	exec *sched.Executor
 	net  *NetStats
 
+	// tracer and metrics observe the cluster when set (see SetObserver):
+	// every shuffle/broadcast emits a "comm" span carrying its byte count,
+	// and the registry accumulates per-kind event counters and byte
+	// histograms. Atomic so enabling observability never races with a run.
+	tracer  atomic.Pointer[obs.Tracer]
+	metrics atomic.Pointer[obs.Registry]
+	// curStage is the stage the engine is currently executing (set by
+	// BeginStage), used to attribute FLOPs of operators that do not carry an
+	// explicit stage argument.
+	curStage atomic.Int64
+
 	// faultMu guards the fault-injection state below.
 	faultMu sync.Mutex
 	// dead is the set of permanently lost workers.
@@ -151,6 +164,49 @@ func (c *Cluster) Executor() *sched.Executor { return c.exec }
 // Net returns the network statistics accumulated so far.
 func (c *Cluster) Net() *NetStats { return c.net }
 
+// SetObserver attaches a span tracer and a metrics registry to the cluster
+// and its local executor. Either may be nil to disable that half. With a
+// tracer attached, every communication primitive emits one "comm" span
+// (zero-duration, parented under the tracer's current scope) whose "bytes"
+// attribute is exactly what the instrumented network charged — summing them
+// reproduces NetStats.Bytes.
+func (c *Cluster) SetObserver(t *obs.Tracer, m *obs.Registry) {
+	c.tracer.Store(t)
+	c.metrics.Store(m)
+	c.exec.SetObserver(t, m)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off; a nil tracer
+// is a valid no-op receiver).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer.Load() }
+
+// Metrics returns the attached metrics registry (nil when metrics are off).
+func (c *Cluster) Metrics() *obs.Registry { return c.metrics.Load() }
+
+// traceComm records one communication event in the tracer and the metrics
+// registry: a zero-duration "comm" span with the exact charged bytes, a
+// per-kind event counter, and byte histograms. It must be called by every
+// code path that charges communication to NetStats, with the same byte
+// count, so trace totals and network totals agree exactly.
+func (c *Cluster) traceComm(stage int, name string, bytes int64, attrs ...obs.Attr) {
+	if tr := c.tracer.Load(); tr.Enabled() {
+		base := []obs.Attr{obs.Int64("stage", int64(stage)), obs.Int64("bytes", bytes)}
+		tr.Event("comm", name, tr.Scope(), append(base, attrs...)...)
+	}
+	if m := c.metrics.Load(); m != nil {
+		m.Counter("comm." + name + ".events").Inc()
+		m.Counter("comm." + name + ".bytes").Add(bytes)
+		m.Histogram("comm."+name+".bytes.hist", obs.BytesBuckets).Observe(float64(bytes))
+	}
+}
+
+// stage returns the stage to attribute an operator without an explicit
+// stage argument to: the stage the engine is currently executing.
+func (c *Cluster) stage() int { return int(c.curStage.Load()) }
+
+// addFLOPs attributes estimated arithmetic to a stage.
+func (c *Cluster) addFLOPs(stage int, f float64) { c.net.AddStageFLOPs(stage, f) }
+
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
@@ -171,8 +227,12 @@ type NetStats struct {
 	mu            sync.Mutex
 	bytes         int64
 	commEvents    int
+	broadcasts    int
+	shuffles      int
 	flops         float64
 	stageBytes    map[int]int64
+	stageEvents   map[int]int
+	stageFLOPs    map[int]float64
 	recoveryBytes int64
 	retries       int
 	stallSec      float64
@@ -184,10 +244,20 @@ type Snapshot struct {
 	Bytes int64
 	// CommEvents counts shuffle/broadcast operations.
 	CommEvents int
+	// Broadcasts counts replication events (Broadcast dependency
+	// satisfactions); Shuffles counts every other communication event
+	// (repartitions, CPMM aggregations, shuffle transposes, driver
+	// collects, recovery shuffles). Broadcasts + Shuffles == CommEvents.
+	Broadcasts int
+	Shuffles   int
 	// FLOPs is the estimated arithmetic performed.
 	FLOPs float64
 	// StageBytes maps stage index to bytes moved into that stage.
 	StageBytes map[int]int64
+	// StageEvents maps stage index to communication events feeding it.
+	StageEvents map[int]int
+	// StageFLOPs maps stage index to arithmetic attributed to it.
+	StageFLOPs map[int]float64
 	// RecoveryBytes is the share of Bytes moved to re-partition dead
 	// workers' blocks across survivors after failures.
 	RecoveryBytes int64
@@ -198,24 +268,59 @@ type Snapshot struct {
 	StallSec float64
 }
 
-// AddComm records a communication of the given bytes feeding the given
-// stage.
-func (n *NetStats) AddComm(stage int, bytes int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+// addCommLocked is the shared body of the communication recorders.
+func (n *NetStats) addCommLocked(stage int, bytes int64, broadcast bool) {
 	n.bytes += bytes
 	n.commEvents++
+	if broadcast {
+		n.broadcasts++
+	} else {
+		n.shuffles++
+	}
 	if n.stageBytes == nil {
 		n.stageBytes = make(map[int]int64)
 	}
 	n.stageBytes[stage] += bytes
+	if n.stageEvents == nil {
+		n.stageEvents = make(map[int]int)
+	}
+	n.stageEvents[stage]++
 }
 
-// AddFLOPs records estimated arithmetic work.
+// AddComm records a shuffle-style communication of the given bytes feeding
+// the given stage.
+func (n *NetStats) AddComm(stage int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addCommLocked(stage, bytes, false)
+}
+
+// AddBroadcast records a replication event of the given bytes feeding the
+// given stage. It counts toward CommEvents like any communication but is
+// tallied separately, so strategy choices (broadcast vs repartition) are
+// countable.
+func (n *NetStats) AddBroadcast(stage int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addCommLocked(stage, bytes, true)
+}
+
+// AddFLOPs records estimated arithmetic work not attributed to a stage.
 func (n *NetStats) AddFLOPs(f float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.flops += f
+}
+
+// AddStageFLOPs records estimated arithmetic work attributed to a stage.
+func (n *NetStats) AddStageFLOPs(stage int, f float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flops += f
+	if n.stageFLOPs == nil {
+		n.stageFLOPs = make(map[int]float64)
+	}
+	n.stageFLOPs[stage] += f
 }
 
 // AddRecovery records the recovery shuffle that re-partitions a dead
@@ -225,12 +330,7 @@ func (n *NetStats) AddFLOPs(f float64) {
 func (n *NetStats) AddRecovery(stage int, bytes int64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.bytes += bytes
-	n.commEvents++
-	if n.stageBytes == nil {
-		n.stageBytes = make(map[int]int64)
-	}
-	n.stageBytes[stage] += bytes
+	n.addCommLocked(stage, bytes, false)
 	n.recoveryBytes += bytes
 }
 
@@ -257,11 +357,23 @@ func (n *NetStats) Snapshot() Snapshot {
 	for k, v := range n.stageBytes {
 		sb[k] = v
 	}
+	se := make(map[int]int, len(n.stageEvents))
+	for k, v := range n.stageEvents {
+		se[k] = v
+	}
+	sf := make(map[int]float64, len(n.stageFLOPs))
+	for k, v := range n.stageFLOPs {
+		sf[k] = v
+	}
 	return Snapshot{
 		Bytes:         n.bytes,
 		CommEvents:    n.commEvents,
+		Broadcasts:    n.broadcasts,
+		Shuffles:      n.shuffles,
 		FLOPs:         n.flops,
 		StageBytes:    sb,
+		StageEvents:   se,
+		StageFLOPs:    sf,
 		RecoveryBytes: n.recoveryBytes,
 		Retries:       n.retries,
 		StallSec:      n.stallSec,
@@ -273,6 +385,7 @@ func (n *NetStats) Reset() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.bytes, n.commEvents, n.flops, n.stageBytes = 0, 0, 0, nil
+	n.broadcasts, n.shuffles, n.stageEvents, n.stageFLOPs = 0, 0, nil, nil
 	n.recoveryBytes, n.retries, n.stallSec = 0, 0, 0
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"dmac/internal/dep"
 	"dmac/internal/matrix"
+	"dmac/internal/obs"
 	"dmac/internal/sched"
 )
 
@@ -72,7 +73,7 @@ func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep
 		return nil, fmt.Errorf("dist: %s requires schemes (%s,%s), got (%s,%s)",
 			strategy, want[0], want[1], a.Scheme, b.Scheme)
 	}
-	c.net.AddFLOPs(mulFLOPs(a.Grid, b.Grid))
+	c.addFLOPs(stage, mulFLOPs(a.Grid, b.Grid))
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
@@ -92,7 +93,11 @@ func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep
 		}
 		// Shuffled aggregation of the per-worker partial products, across
 		// the workers still alive.
-		c.net.AddComm(stage, int64(c.AliveWorkers())*out.Bytes())
+		workers := int64(c.AliveWorkers())
+		c.net.AddComm(stage, workers*out.Bytes())
+		c.traceComm(stage, "cpmm-shuffle", workers*out.Bytes(),
+			obs.String("strategy", "CPMM"), obs.String("to_scheme", outScheme.String()),
+			obs.Int64("workers", workers))
 		out.Scheme = outScheme
 	}
 	return out, nil
@@ -110,7 +115,7 @@ func (c *Cluster) Cellwise(op matrix.BinOp, a, b *DistMatrix) (*DistMatrix, erro
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
-	c.net.AddFLOPs(float64(a.Rows()) * float64(a.Cols()))
+	c.addFLOPs(c.stage(), float64(a.Rows())*float64(a.Cols()))
 	grid, err := c.exec.Cellwise(op, a.Grid, b.Grid)
 	if err != nil {
 		return nil, err
@@ -127,7 +132,7 @@ func (c *Cluster) Scalar(op matrix.ScalarOp, a *DistMatrix, v float64) (*DistMat
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
-	c.net.AddFLOPs(float64(a.Grid.NNZ()))
+	c.addFLOPs(c.stage(), float64(a.Grid.NNZ()))
 	return &DistMatrix{Grid: c.exec.Scalar(op, a.Grid, v), Scheme: a.Scheme}, nil
 }
 
@@ -140,22 +145,30 @@ func (c *Cluster) Apply(f matrix.UFunc, a *DistMatrix) (*DistMatrix, error) {
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
-	c.net.AddFLOPs(4 * float64(a.Rows()) * float64(a.Cols())) // transcendental-ish cost
+	c.addFLOPs(c.stage(), 4*float64(a.Rows())*float64(a.Cols())) // transcendental-ish cost
 	return &DistMatrix{Grid: c.exec.Apply(f, a.Grid), Scheme: a.Scheme}, nil
+}
+
+// collect charges a tiny driver collect (8 bytes per alive worker) for an
+// aggregate operator.
+func (c *Cluster) collect(stage int) {
+	bytes := 8 * int64(c.AliveWorkers())
+	c.net.AddComm(stage, bytes)
+	c.traceComm(stage, "collect", bytes)
 }
 
 // Sum computes the sum of all cells: local partials plus a tiny driver
 // collect (8 bytes per alive worker).
 func (c *Cluster) Sum(a *DistMatrix, stage int) float64 {
-	c.net.AddFLOPs(float64(a.Grid.NNZ()))
-	c.net.AddComm(stage, 8*int64(c.AliveWorkers()))
+	c.addFLOPs(stage, float64(a.Grid.NNZ()))
+	c.collect(stage)
 	return matrix.SumGrid(a.Grid)
 }
 
 // Norm2 computes the Frobenius norm with the same collect cost as Sum.
 func (c *Cluster) Norm2(a *DistMatrix, stage int) float64 {
-	c.net.AddFLOPs(2 * float64(a.Grid.NNZ()))
-	c.net.AddComm(stage, 8*int64(c.AliveWorkers()))
+	c.addFLOPs(stage, 2*float64(a.Grid.NNZ()))
+	c.collect(stage)
 	return math.Sqrt(matrix.FrobeniusSqGrid(a.Grid))
 }
 
@@ -167,6 +180,6 @@ func (c *Cluster) Value(a *DistMatrix, stage int) (float64, error) {
 	if err := c.opFault(); err != nil {
 		return 0, err
 	}
-	c.net.AddComm(stage, 8*int64(c.AliveWorkers()))
+	c.collect(stage)
 	return a.Grid.At(0, 0), nil
 }

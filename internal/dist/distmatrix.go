@@ -5,6 +5,7 @@ import (
 
 	"dmac/internal/dep"
 	"dmac/internal/matrix"
+	"dmac/internal/obs"
 )
 
 // DistMatrix is a matrix distributed across the cluster: block data plus the
@@ -120,13 +121,18 @@ func (c *Cluster) Partition(m *DistMatrix, scheme dep.Scheme, stage int) (*DistM
 		return nil, err
 	}
 	c.net.AddComm(stage, m.Bytes())
+	c.traceComm(stage, "partition", m.Bytes(),
+		obs.String("from_scheme", m.Scheme.String()), obs.String("to_scheme", scheme.String()))
 	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
 }
 
 // Broadcast replicates the matrix on every alive worker, charging N x |A|
 // for a full cluster and proportionally less once workers have been lost.
 func (c *Cluster) Broadcast(m *DistMatrix, stage int) *DistMatrix {
-	c.net.AddComm(stage, int64(c.AliveWorkers())*m.Bytes())
+	replicas := int64(c.AliveWorkers())
+	c.net.AddBroadcast(stage, replicas*m.Bytes())
+	c.traceComm(stage, "broadcast", replicas*m.Bytes(),
+		obs.String("from_scheme", m.Scheme.String()), obs.Int64("replicas", replicas))
 	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast}
 }
 
@@ -149,7 +155,7 @@ func (c *Cluster) Extract(m *DistMatrix, scheme dep.Scheme) (*DistMatrix, error)
 // Col (Broadcast and hash placements stay as they are). No communication
 // (the transpose extended operator).
 func (c *Cluster) Transpose(m *DistMatrix) *DistMatrix {
-	c.net.AddFLOPs(float64(m.Grid.NNZ()))
+	c.addFLOPs(c.stage(), float64(m.Grid.NNZ()))
 	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
 }
 
@@ -157,6 +163,8 @@ func (c *Cluster) Transpose(m *DistMatrix) *DistMatrix {
 // materializes the transpose (SystemML-S pays |A| for it).
 func (c *Cluster) ShuffleTranspose(m *DistMatrix, stage int) *DistMatrix {
 	c.net.AddComm(stage, m.Bytes())
-	c.net.AddFLOPs(float64(m.Grid.NNZ()))
+	c.traceComm(stage, "shuffle-transpose", m.Bytes(),
+		obs.String("from_scheme", m.Scheme.String()))
+	c.addFLOPs(stage, float64(m.Grid.NNZ()))
 	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
 }

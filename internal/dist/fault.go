@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+
+	"dmac/internal/obs"
 )
 
 // FaultKind discriminates the injectable faults. Kills model Spark worker
@@ -158,6 +160,7 @@ func (f *WorkerFailure) Error() string {
 // operators (or at the stage's end if no operator consumed it). Faults
 // naming dead workers, or whose victim is the last survivor, are ignored.
 func (c *Cluster) BeginStage(stage, attempt int) error {
+	c.curStage.Store(int64(stage))
 	c.faultMu.Lock()
 	defer c.faultMu.Unlock()
 	c.pending = nil
@@ -204,6 +207,19 @@ func (c *Cluster) opFault() error {
 		return f
 	}
 	return nil
+}
+
+// ChargeRecovery records a lineage-recovery shuffle after the given worker
+// died: the bytes are charged to the network as ordinary communication
+// feeding the stage, attributed separately as recovery cost, and — when
+// observability is attached — surfaced as a "recovery" comm span and
+// fault counters.
+func (c *Cluster) ChargeRecovery(stage, worker int, bytes int64) {
+	c.net.AddRecovery(stage, bytes)
+	c.traceComm(stage, "recovery", bytes, obs.Int64("worker", int64(worker)))
+	if m := c.metrics.Load(); m != nil {
+		m.Counter("fault.recovery.bytes").Add(bytes)
+	}
 }
 
 // KillWorker permanently removes a worker from the cluster. The last

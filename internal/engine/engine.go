@@ -17,6 +17,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"dmac/internal/dist"
 	"dmac/internal/expr"
 	"dmac/internal/matrix"
+	"dmac/internal/obs"
 )
 
 // Planner selects the planning mode of an engine.
@@ -77,6 +79,37 @@ type Metrics struct {
 	// RecoveryBytes is the share of CommBytes spent re-partitioning dead
 	// workers' blocks across survivors after failures.
 	RecoveryBytes int64
+	// Broadcasts and Shuffles split CommEvents by kind, so strategy choices
+	// (replicate vs repartition) are countable per run.
+	Broadcasts int
+	Shuffles   int
+	// PerStage attributes the run to its stages, separating measured wall
+	// time, modelled local compute time and modelled network time — the
+	// per-stage decomposition the run-level ModelSeconds folds together.
+	// Sorted by stage; empty for the local engine.
+	PerStage []StageMetrics
+}
+
+// StageMetrics is the cost of one stage of one Run.
+type StageMetrics struct {
+	// Stage is the 1-based un-interleaved stage index.
+	Stage int
+	// WallSeconds is the measured wall-clock time of the stage (all
+	// attempts, recovery included).
+	WallSeconds float64
+	// ComputeSeconds is the modelled local compute time of the stage: its
+	// attributed FLOPs spread over all workers and threads, times the
+	// straggler slowdown.
+	ComputeSeconds float64
+	// NetworkSeconds is the modelled (virtual) network time of the
+	// communication feeding the stage: bytes over bandwidth plus per-event
+	// shuffle latency.
+	NetworkSeconds float64
+	// CommBytes and CommEvents count the communication feeding the stage.
+	CommBytes  int64
+	CommEvents int
+	// FLOPs is the arithmetic attributed to the stage.
+	FLOPs float64
 }
 
 // Add accumulates other into m (for per-iteration totals).
@@ -88,6 +121,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.FLOPs += other.FLOPs
 	m.Retries += other.Retries
 	m.RecoveryBytes += other.RecoveryBytes
+	m.Broadcasts += other.Broadcasts
+	m.Shuffles += other.Shuffles
 	if other.Stages > m.Stages {
 		m.Stages = other.Stages
 	}
@@ -97,6 +132,26 @@ func (m *Metrics) Add(other Metrics) {
 	for k, v := range other.StageBytes {
 		m.StageBytes[k] += v
 	}
+	byStage := make(map[int]int, len(m.PerStage))
+	for i, s := range m.PerStage {
+		byStage[s.Stage] = i
+	}
+	for _, s := range other.PerStage {
+		i, ok := byStage[s.Stage]
+		if !ok {
+			m.PerStage = append(m.PerStage, s)
+			byStage[s.Stage] = len(m.PerStage) - 1
+			continue
+		}
+		dst := &m.PerStage[i]
+		dst.WallSeconds += s.WallSeconds
+		dst.ComputeSeconds += s.ComputeSeconds
+		dst.NetworkSeconds += s.NetworkSeconds
+		dst.CommBytes += s.CommBytes
+		dst.CommEvents += s.CommEvents
+		dst.FLOPs += s.FLOPs
+	}
+	sort.Slice(m.PerStage, func(i, j int) bool { return m.PerStage[i].Stage < m.PerStage[j].Stage })
 }
 
 // varState is a session variable: its instances per scheme.
@@ -124,6 +179,10 @@ type Engine struct {
 	planCache map[*expr.Program]planCacheEntry
 	cacheHits int
 	cacheMiss int
+	// tracer and metrics observe execution when set (SetObserver); both are
+	// valid nil (no-op) receivers.
+	tracer  *obs.Tracer
+	metrics *obs.Registry
 }
 
 type planCacheEntry struct {
@@ -182,6 +241,26 @@ func New(planner Planner, cfg dist.Config, blockSize int) *Engine {
 		scalars:   make(map[string]float64),
 	}
 }
+
+// SetObserver attaches a span tracer and a metrics registry to the engine,
+// its cluster, and its local executor. Either may be nil to disable that
+// half. With a tracer attached every Run emits a span tree — run → stage →
+// attempt → operator, with communication events and task batches hanging
+// under the operator that caused them — exportable via the obs package
+// (Chrome trace JSON, per-stage table). With a registry attached the engine
+// feeds per-operator time histograms and plan-cache/fault counters.
+func (e *Engine) SetObserver(t *obs.Tracer, m *obs.Registry) {
+	e.tracer = t
+	e.metrics = m
+	e.cluster.SetObserver(t, m)
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// MetricsRegistry returns the attached metrics registry (nil when metrics
+// are off).
+func (e *Engine) MetricsRegistry() *obs.Registry { return e.metrics }
 
 // Planner returns the engine's planning mode.
 func (e *Engine) Planner() Planner { return e.planner }
@@ -289,9 +368,12 @@ func (e *Engine) Run(p *expr.Program, params map[string]float64) (Metrics, error
 	}
 	sig := e.planSignature(p)
 	var plan *core.Plan
+	cached := false
 	if entry, ok := e.planCache[p]; ok && entry.sig == sig {
 		plan = entry.plan
 		e.cacheHits++
+		cached = true
+		e.metrics.Counter("plan.cache.hits").Inc()
 	} else {
 		var err error
 		cfg := e.planConfig()
@@ -314,15 +396,27 @@ func (e *Engine) Run(p *expr.Program, params map[string]float64) (Metrics, error
 		}
 		e.planCache[p] = planCacheEntry{sig: sig, plan: plan}
 		e.cacheMiss++
+		e.metrics.Counter("plan.cache.misses").Inc()
 	}
 	before := e.cluster.Net().Snapshot()
+	runSpan := e.tracer.Start("engine", "run", 0,
+		obs.String("planner", e.planner.String()),
+		obs.Int64("stages", int64(plan.Stages)),
+		obs.Int64("ops", int64(len(plan.Ops))),
+		obs.String("plan_cache", map[bool]string{true: "hit", false: "miss"}[cached]))
+	prevScope := e.tracer.SetScope(runSpan)
 	start := time.Now()
-	if err := e.execute(plan, params); err != nil {
+	stageWall, err := e.execute(plan, params)
+	e.tracer.SetScope(prevScope)
+	if err != nil {
+		e.tracer.End(runSpan, obs.String("error", err.Error()))
 		return Metrics{}, err
 	}
 	wall := time.Since(start).Seconds()
 	after := e.cluster.Net().Snapshot()
-	return e.metricsDelta(before, after, wall, plan.Stages), nil
+	m := e.metricsDelta(before, after, wall, plan.Stages, stageWall)
+	e.tracer.End(runSpan, obs.Int64("comm_bytes", m.CommBytes))
+	return m, nil
 }
 
 // Plan returns the plan the engine would execute for a program against the
@@ -338,31 +432,73 @@ func (e *Engine) Plan(p *expr.Program) (*core.Plan, error) {
 	}
 }
 
-func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages int) Metrics {
+func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages int, stageWall map[int]float64) Metrics {
 	cfg := e.cluster.Config()
 	bytes := after.Bytes - before.Bytes
 	events := after.CommEvents - before.CommEvents
 	flops := after.FLOPs - before.FLOPs
 	stall := after.StallSec - before.StallSec
 	threads := float64(cfg.Workers * cfg.LocalParallelism)
-	model := flops*cfg.MaxSlowdown()/(threads*cfg.FlopsPerSecPerThread) +
-		float64(bytes)/cfg.BandwidthBytesPerSec +
-		float64(events)*cfg.ShuffleLatencySec +
-		stall
+	computeSec := func(f float64) float64 {
+		return f * cfg.MaxSlowdown() / (threads * cfg.FlopsPerSecPerThread)
+	}
+	networkSec := func(b int64, ev int) float64 {
+		return float64(b)/cfg.BandwidthBytesPerSec + float64(ev)*cfg.ShuffleLatencySec
+	}
+	model := computeSec(flops) + networkSec(bytes, events) + stall
 	stageBytes := make(map[int]int64)
 	for k, v := range after.StageBytes {
 		if d := v - before.StageBytes[k]; d > 0 {
 			stageBytes[k] = d
 		}
 	}
+	// Per-stage attribution: every stage that moved bytes, saw an event,
+	// computed, or measured wall time gets a row, with virtual network time
+	// and local compute time reported separately.
+	stageSet := make(map[int]bool)
+	for k := range stageBytes {
+		stageSet[k] = true
+	}
+	for k, v := range after.StageEvents {
+		if v-before.StageEvents[k] > 0 {
+			stageSet[k] = true
+		}
+	}
+	for k, v := range after.StageFLOPs {
+		if v-before.StageFLOPs[k] > 0 {
+			stageSet[k] = true
+		}
+	}
+	for k := range stageWall {
+		stageSet[k] = true
+	}
+	perStage := make([]StageMetrics, 0, len(stageSet))
+	for k := range stageSet {
+		db := stageBytes[k]
+		de := after.StageEvents[k] - before.StageEvents[k]
+		df := after.StageFLOPs[k] - before.StageFLOPs[k]
+		perStage = append(perStage, StageMetrics{
+			Stage:          k,
+			WallSeconds:    stageWall[k],
+			ComputeSeconds: computeSec(df),
+			NetworkSeconds: networkSec(db, de),
+			CommBytes:      db,
+			CommEvents:     de,
+			FLOPs:          df,
+		})
+	}
+	sort.Slice(perStage, func(i, j int) bool { return perStage[i].Stage < perStage[j].Stage })
 	return Metrics{
 		WallSeconds:   wall,
 		ModelSeconds:  model,
 		CommBytes:     bytes,
 		CommEvents:    events,
+		Broadcasts:    after.Broadcasts - before.Broadcasts,
+		Shuffles:      after.Shuffles - before.Shuffles,
 		FLOPs:         flops,
 		Stages:        stages,
 		StageBytes:    stageBytes,
+		PerStage:      perStage,
 		Retries:       after.Retries - before.Retries,
 		RecoveryBytes: after.RecoveryBytes - before.RecoveryBytes,
 	}

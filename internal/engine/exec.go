@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dmac/internal/core"
 	"dmac/internal/dep"
 	"dmac/internal/dist"
 	"dmac/internal/expr"
+	"dmac/internal/obs"
 )
 
 // execute materializes a validated plan on the cluster stage by stage, then
@@ -20,7 +22,9 @@ import (
 // so running stages in ascending order (keeping the plan's op order within a
 // stage) is a valid topological order, and a failed stage can be retried in
 // isolation once its inputs are recovered.
-func (e *Engine) execute(plan *core.Plan, params map[string]float64) error {
+// It returns the measured wall-clock seconds of each executed stage (all
+// attempts and recovery included) for per-stage metrics attribution.
+func (e *Engine) execute(plan *core.Plan, params map[string]float64) (map[int]float64, error) {
 	vals := make([]*dist.DistMatrix, len(plan.Values))
 	var stages []int
 	byStage := make(map[int][]*core.Op)
@@ -40,13 +44,22 @@ func (e *Engine) execute(plan *core.Plan, params map[string]float64) error {
 			valueStage[op.Output] = op.Stage
 		}
 	}
+	stageWall := make(map[int]float64, len(stages))
 	for _, s := range stages {
-		if err := e.runStage(plan, s, byStage[s], vals, valueStage, params); err != nil {
-			return err
+		span := e.tracer.Start("engine", fmt.Sprintf("stage %d", s), e.tracer.Scope(),
+			obs.Int64("stage", int64(s)), obs.Int64("ops", int64(len(byStage[s]))))
+		prev := e.tracer.SetScope(span)
+		start := time.Now()
+		err := e.runStage(plan, s, byStage[s], vals, valueStage, params)
+		stageWall[s] = time.Since(start).Seconds()
+		e.tracer.SetScope(prev)
+		e.tracer.End(span)
+		if err != nil {
+			return stageWall, err
 		}
 	}
 	e.cacheLeafInstances(plan, vals)
-	return e.commitAssignments(plan, vals)
+	return stageWall, e.commitAssignments(plan, vals)
 }
 
 // runStage executes one stage's ops, retrying on injected worker failures
@@ -57,6 +70,9 @@ func (e *Engine) execute(plan *core.Plan, params map[string]float64) error {
 func (e *Engine) runStage(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, valueStage []int, params map[string]float64) error {
 	cfg := e.cluster.Config()
 	for attempt := 0; ; attempt++ {
+		span := e.tracer.Start("engine", "attempt", e.tracer.Scope(),
+			obs.Int64("stage", int64(stage)), obs.Int64("attempt", int64(attempt)))
+		prev := e.tracer.SetScope(span)
 		err := e.cluster.BeginStage(stage, attempt)
 		if err == nil {
 			err = e.runOps(plan, stage, ops, vals, params)
@@ -68,20 +84,29 @@ func (e *Engine) runStage(plan *core.Plan, stage int, ops []*core.Op, vals []*di
 				err = f
 			}
 		}
+		e.tracer.SetScope(prev)
 		if err == nil {
+			e.tracer.End(span)
 			return nil
 		}
+		e.tracer.End(span, obs.String("error", err.Error()))
 		var wf *dist.WorkerFailure
 		if !errors.As(err, &wf) || attempt >= cfg.MaxStageRetries {
 			return err
 		}
+		rec := e.tracer.Start("engine", "recover", e.tracer.Scope(),
+			obs.Int64("stage", int64(stage)), obs.Int64("worker", int64(wf.Worker)))
+		prev = e.tracer.SetScope(rec)
 		e.recoverStage(plan, stage, ops, vals, valueStage, wf)
+		e.tracer.SetScope(prev)
+		e.tracer.End(rec)
 		backoff := cfg.RetryBackoffBaseSec * math.Pow(2, float64(attempt))
 		if backoff > cfg.RetryBackoffCapSec {
 			backoff = cfg.RetryBackoffCapSec
 		}
 		e.cluster.Net().AddStall(backoff)
 		e.cluster.Net().AddRetry()
+		e.metrics.Counter("fault.retries").Inc()
 	}
 }
 
@@ -110,18 +135,50 @@ func (e *Engine) recoverStage(plan *core.Plan, stage int, ops []*core.Op, vals [
 		}
 	}
 	if e.cluster.KillWorker(wf.Worker) {
-		e.cluster.Net().AddRecovery(stage, bytes)
+		e.cluster.ChargeRecovery(stage, wf.Worker, bytes)
 	}
 }
 
+// opSpan opens the span of one plan operator: name from the operator kind
+// (plus the program node's label where there is one), attributes carrying
+// stage, strategy and the dependency types satisfied on its input edges.
+func (e *Engine) opSpan(plan *core.Plan, stage int, op *core.Op) obs.SpanID {
+	if !e.tracer.Enabled() {
+		return 0
+	}
+	name := op.Kind.String()
+	if op.Node != nil {
+		name += " " + op.Node.Label()
+	}
+	attrs := []obs.Attr{
+		obs.Int64("stage", int64(stage)),
+		obs.String("kind", op.Kind.String()),
+	}
+	if op.Kind == core.OpCompute {
+		attrs = append(attrs, obs.String("strategy", op.Strategy.String()))
+	}
+	for j, d := range op.InDeps {
+		if d != dep.NoDependency {
+			attrs = append(attrs, obs.String(fmt.Sprintf("dep_in%d", j), d.String()))
+		}
+	}
+	if op.Output >= 0 {
+		attrs = append(attrs, obs.String("out_scheme", plan.Value(op.Output).Scheme.String()))
+	}
+	return e.tracer.Start("op", name, e.tracer.Scope(), attrs...)
+}
+
 // runOps executes one stage's ops in plan order against the shared value
-// table.
+// table, one "op" span and one time-histogram sample per operator.
 func (e *Engine) runOps(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, params map[string]float64) error {
 	for i, op := range ops {
 		var (
 			out *dist.DistMatrix
 			err error
 		)
+		span := e.opSpan(plan, stage, op)
+		prevScope := e.tracer.SetScope(span)
+		opStart := time.Now()
 		switch op.Kind {
 		case core.OpLoad, core.OpVar:
 			out, err = e.leafInstance(op, plan)
@@ -141,11 +198,21 @@ func (e *Engine) runOps(plan *core.Plan, stage int, ops []*core.Op, vals []*dist
 		case core.OpCompute:
 			out, err = e.compute(plan, op, vals, params)
 		default:
+			e.tracer.SetScope(prevScope)
+			e.tracer.End(span)
 			return fmt.Errorf("engine: stage %d op %d has unexpected kind %v", stage, i, op.Kind)
 		}
+		e.tracer.SetScope(prevScope)
+		if e.metrics != nil {
+			e.metrics.Histogram("op."+op.Kind.String()+".seconds", obs.SecondsBuckets).
+				Observe(time.Since(opStart).Seconds())
+			e.metrics.Counter("op." + op.Kind.String() + ".count").Inc()
+		}
 		if err != nil {
+			e.tracer.End(span, obs.String("error", err.Error()))
 			return fmt.Errorf("engine: stage %d op %d (%s): %w", stage, i, op.Kind, err)
 		}
+		e.tracer.End(span)
 		if op.Output >= 0 {
 			if out == nil {
 				return fmt.Errorf("engine: stage %d op %d produced no value", stage, i)

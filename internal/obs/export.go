@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome trace_event entry — the exchange format between
+// the exporter, the dmactrace CLI and chrome://tracing / Perfetto. Only
+// complete events (ph "X") are emitted; timestamps and durations are
+// microseconds.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object trace format expected by the viewers.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// catTid maps span categories to stable viewer lanes (tid rows in
+// chrome://tracing).
+func catTid(cat string) int {
+	switch cat {
+	case "engine":
+		return 1
+	case "op":
+		return 2
+	case "comm":
+		return 3
+	case "sched":
+		return 4
+	default:
+		return 9
+	}
+}
+
+// SpanEvent converts one span to its trace event.
+func SpanEvent(s Span) TraceEvent {
+	ev := TraceEvent{
+		Name: s.Name,
+		Cat:  s.Cat,
+		Ph:   "X",
+		Ts:   float64(s.Start) / 1e3,
+		Dur:  float64(s.End-s.Start) / 1e3,
+		Pid:  1,
+		Tid:  catTid(s.Cat),
+	}
+	ev.Args = make(map[string]any, len(s.Attrs)+2)
+	ev.Args["span_id"] = int64(s.ID)
+	if s.Parent != 0 {
+		ev.Args["parent_id"] = int64(s.Parent)
+	}
+	for _, a := range s.Attrs {
+		ev.Args[a.Key] = a.Value()
+	}
+	return ev
+}
+
+// WriteChromeTrace renders spans as a Chrome trace_event JSON document
+// loadable in chrome://tracing and Perfetto. Spans are sorted by start time
+// (ties broken by ID) so output is deterministic under a deterministic
+// clock.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	doc := chromeTrace{TraceEvents: make([]TraceEvent, 0, len(sorted)), DisplayTimeUnit: "ms"}
+	for _, s := range sorted {
+		doc.TraceEvents = append(doc.TraceEvents, SpanEvent(s))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ReadChromeTrace parses a Chrome trace_event JSON document (either the
+// object form with a traceEvents key or a bare event array).
+func ReadChromeTrace(r io.Reader) ([]TraceEvent, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err == nil && doc.TraceEvents != nil {
+		return doc.TraceEvents, nil
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("obs: not a chrome trace: %w", err)
+	}
+	return events, nil
+}
+
+// EventsToSpans converts parsed trace events back to spans, so the summary
+// and table renderers work identically on live tracers and loaded files.
+// JSON numbers arrive as float64; integer-valued ones become integer attrs
+// (byte counts survive a round trip exactly up to 2^53).
+func EventsToSpans(events []TraceEvent) []Span {
+	spans := make([]Span, 0, len(events))
+	for _, ev := range events {
+		if ev.Ph != "X" && ev.Ph != "" {
+			continue
+		}
+		s := Span{
+			Cat:   ev.Cat,
+			Name:  ev.Name,
+			Start: int64(ev.Ts * 1e3),
+			End:   int64((ev.Ts + ev.Dur) * 1e3),
+		}
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := ev.Args[k].(type) {
+			case float64:
+				if v == float64(int64(v)) {
+					if k == "span_id" {
+						s.ID = SpanID(int64(v))
+						continue
+					}
+					if k == "parent_id" {
+						s.Parent = SpanID(int64(v))
+						continue
+					}
+					s.Attrs = append(s.Attrs, Int64(k, int64(v)))
+				} else {
+					s.Attrs = append(s.Attrs, Float64(k, v))
+				}
+			case string:
+				s.Attrs = append(s.Attrs, String(k, v))
+			case json.Number:
+				if i, err := v.Int64(); err == nil {
+					s.Attrs = append(s.Attrs, Int64(k, i))
+				} else if f, err := v.Float64(); err == nil {
+					s.Attrs = append(s.Attrs, Float64(k, f))
+				}
+			}
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+// WriteMetricsJSON dumps a registry snapshot as indented JSON — the
+// machine-readable metrics export behind -metrics-out.
+func WriteMetricsJSON(w io.Writer, snap MetricsSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	if c != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("y")
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("z", SecondsBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram holds observations")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same counter name yields different counters")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Fatal("same gauge name yields different gauges")
+	}
+	if r.Histogram("c", BytesBuckets) != r.Histogram("c", SecondsBuckets) {
+		t.Fatal("same histogram name yields different histograms")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	// SearchFloat64s puts values equal to a bound into that bound's bucket.
+	want := []int64{2, 2, 0, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1+10+11+100+5000 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	if len(BytesBuckets) != 12 || BytesBuckets[0] != 256 || BytesBuckets[1] != 1024 {
+		t.Fatalf("BytesBuckets = %v", BytesBuckets)
+	}
+	if len(SecondsBuckets) != 9 || SecondsBuckets[0] != 1e-6 {
+		t.Fatalf("SecondsBuckets = %v", SecondsBuckets)
+	}
+	if len(TasksBuckets) != 8 || TasksBuckets[0] != 1 || TasksBuckets[1] != 4 {
+		t.Fatalf("TasksBuckets = %v", TasksBuckets)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("load").Set(0.5)
+	r.Histogram("lat", []float64{1, 2}).Observe(1.5)
+	snap := r.Snapshot()
+	if snap.Counters["hits"] != 3 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["load"] != 0.5 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms["lat"]
+	if hs.Count != 1 || hs.Sum != 1.5 || len(hs.Counts) != 3 || hs.Counts[1] != 1 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	// The snapshot is a copy: later writes must not leak in.
+	r.Counter("hits").Add(10)
+	if snap.Counters["hits"] != 3 {
+		t.Fatal("snapshot aliases live counter")
+	}
+}
+
+func TestMetricsConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h", TasksBuckets).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+	if got := r.Histogram("h", TasksBuckets).Count(); got != 800 {
+		t.Fatalf("histogram count = %d, want 800", got)
+	}
+}

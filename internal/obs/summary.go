@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// StageSummary aggregates one stage's spans.
+type StageSummary struct {
+	Stage      int
+	Ops        int
+	CommEvents int
+	CommBytes  int64
+	// OpSeconds is wall time spent inside the stage's operator spans.
+	OpSeconds float64
+	// QueueWaitSeconds and ComputeSeconds split the stage's local task
+	// batches into time tasks waited in the queue versus time spent
+	// computing (summed across tasks, from sched batch spans).
+	QueueWaitSeconds float64
+	ComputeSeconds   float64
+}
+
+// CommSummary aggregates communication events of one kind.
+type CommSummary struct {
+	Name   string
+	Events int
+	Bytes  int64
+}
+
+// Summary is the aggregate view of one trace, shared by the dmactrace
+// timeline and the per-stage table exporter.
+type Summary struct {
+	// TotalSeconds spans the earliest start to the latest end.
+	TotalSeconds float64
+	// TotalBytes sums the bytes attribute over all comm spans — by
+	// construction equal to the bytes the instrumented network charged.
+	TotalBytes int64
+	Stages     []StageSummary
+	Comm       []CommSummary
+	// TopSpans holds the longest op and comm spans, descending.
+	TopSpans []Span
+}
+
+// DominantComm returns the communication kind moving the most bytes, or a
+// zero value when the trace has none.
+func (s *Summary) DominantComm() CommSummary {
+	var best CommSummary
+	for _, c := range s.Comm {
+		if c.Bytes > best.Bytes {
+			best = c
+		}
+	}
+	return best
+}
+
+// stageOf resolves the stage a span belongs to: its own stage attribute, or
+// the nearest ancestor's (sched batches inherit the operator that spawned
+// them).
+func stageOf(s *Span, byID map[SpanID]*Span) (int, bool) {
+	for hops := 0; s != nil && hops < 64; hops++ {
+		if a, ok := s.Attr("stage"); ok && a.Kind == AttrInt {
+			return int(a.Int), true
+		}
+		if s.Parent == 0 {
+			return 0, false
+		}
+		s = byID[s.Parent]
+	}
+	return 0, false
+}
+
+// Summarize aggregates spans per stage and per communication kind. It works
+// identically on a live tracer's spans and on spans decoded from a trace
+// file.
+func Summarize(spans []Span) Summary {
+	var sum Summary
+	if len(spans) == 0 {
+		return sum
+	}
+	byID := make(map[SpanID]*Span, len(spans))
+	for i := range spans {
+		if spans[i].ID != 0 {
+			byID[spans[i].ID] = &spans[i]
+		}
+	}
+	stages := make(map[int]*StageSummary)
+	comm := make(map[string]*CommSummary)
+	var minStart, maxEnd int64
+	minStart = spans[0].Start
+	stageAt := func(sp *Span) *StageSummary {
+		n, ok := stageOf(sp, byID)
+		if !ok {
+			return nil
+		}
+		st := stages[n]
+		if st == nil {
+			st = &StageSummary{Stage: n}
+			stages[n] = st
+		}
+		return st
+	}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Start < minStart {
+			minStart = sp.Start
+		}
+		if sp.End > maxEnd {
+			maxEnd = sp.End
+		}
+		switch sp.Cat {
+		case "op":
+			if st := stageAt(sp); st != nil {
+				st.Ops++
+				st.OpSeconds += sp.DurationSec()
+			}
+		case "comm":
+			var bytes int64
+			if a, ok := sp.Attr("bytes"); ok {
+				bytes = a.Int
+			}
+			sum.TotalBytes += bytes
+			c := comm[sp.Name]
+			if c == nil {
+				c = &CommSummary{Name: sp.Name}
+				comm[sp.Name] = c
+			}
+			c.Events++
+			c.Bytes += bytes
+			if st := stageAt(sp); st != nil {
+				st.CommEvents++
+				st.CommBytes += bytes
+			}
+		case "sched":
+			if st := stageAt(sp); st != nil {
+				if a, ok := sp.Attr("queue_wait_s"); ok {
+					st.QueueWaitSeconds += a.Float
+				}
+				if a, ok := sp.Attr("compute_s"); ok {
+					st.ComputeSeconds += a.Float
+				}
+			}
+		}
+	}
+	sum.TotalSeconds = float64(maxEnd-minStart) / 1e9
+	for _, st := range stages {
+		sum.Stages = append(sum.Stages, *st)
+	}
+	sort.Slice(sum.Stages, func(i, j int) bool { return sum.Stages[i].Stage < sum.Stages[j].Stage })
+	for _, c := range comm {
+		sum.Comm = append(sum.Comm, *c)
+	}
+	sort.Slice(sum.Comm, func(i, j int) bool {
+		if sum.Comm[i].Bytes != sum.Comm[j].Bytes {
+			return sum.Comm[i].Bytes > sum.Comm[j].Bytes
+		}
+		return sum.Comm[i].Name < sum.Comm[j].Name
+	})
+	for i := range spans {
+		if spans[i].Cat == "op" || spans[i].Cat == "comm" {
+			sum.TopSpans = append(sum.TopSpans, spans[i])
+		}
+	}
+	sort.SliceStable(sum.TopSpans, func(i, j int) bool {
+		return sum.TopSpans[i].DurationSec() > sum.TopSpans[j].DurationSec()
+	})
+	if len(sum.TopSpans) > 10 {
+		sum.TopSpans = sum.TopSpans[:10]
+	}
+	return sum
+}
+
+// WriteStageTable renders the human-readable per-stage table: operator
+// count, communication events and bytes, and the queue-wait/compute split
+// of each stage.
+func WriteStageTable(w io.Writer, spans []Span) {
+	sum := Summarize(spans)
+	writeAligned(w,
+		[]string{"stage", "ops", "comm", "bytes", "op wall s", "task compute s", "task queue s"},
+		func(emit func(...string)) {
+			for _, st := range sum.Stages {
+				emit(
+					fmt.Sprintf("%d", st.Stage),
+					fmt.Sprintf("%d", st.Ops),
+					fmt.Sprintf("%d", st.CommEvents),
+					fmt.Sprintf("%d", st.CommBytes),
+					fmt.Sprintf("%.6f", st.OpSeconds),
+					fmt.Sprintf("%.6f", st.ComputeSeconds),
+					fmt.Sprintf("%.6f", st.QueueWaitSeconds),
+				)
+			}
+		})
+}
+
+// WriteTimeline renders the full dmactrace report: run totals, the
+// per-stage table, the communication breakdown and the longest spans.
+func WriteTimeline(w io.Writer, spans []Span) {
+	sum := Summarize(spans)
+	fmt.Fprintf(w, "trace: %d spans, %.6f s, %d bytes communicated\n",
+		len(spans), sum.TotalSeconds, sum.TotalBytes)
+	if d := sum.DominantComm(); d.Events > 0 {
+		fmt.Fprintf(w, "dominant communication: %s (%d events, %d bytes)\n", d.Name, d.Events, d.Bytes)
+	}
+	fmt.Fprintln(w)
+	WriteStageTable(w, spans)
+	if len(sum.Comm) > 0 {
+		fmt.Fprintln(w)
+		writeAligned(w, []string{"comm kind", "events", "bytes"}, func(emit func(...string)) {
+			for _, c := range sum.Comm {
+				emit(c.Name, fmt.Sprintf("%d", c.Events), fmt.Sprintf("%d", c.Bytes))
+			}
+		})
+	}
+	if len(sum.TopSpans) > 0 {
+		fmt.Fprintln(w)
+		writeAligned(w, []string{"longest spans", "cat", "dur s", "stage"}, func(emit func(...string)) {
+			byID := make(map[SpanID]*Span, len(spans))
+			for i := range spans {
+				byID[spans[i].ID] = &spans[i]
+			}
+			for _, sp := range sum.TopSpans {
+				stage := "-"
+				if n, ok := stageOf(&sp, byID); ok {
+					stage = fmt.Sprintf("%d", n)
+				}
+				emit(sp.Name, sp.Cat, fmt.Sprintf("%.6f", sp.DurationSec()), stage)
+			}
+		})
+	}
+}
+
+// writeAligned renders an aligned text table; rows are produced by the
+// callback so callers avoid building [][]string by hand.
+func writeAligned(w io.Writer, headers []string, rows func(emit func(...string))) {
+	var collected [][]string
+	rows(func(cells ...string) {
+		collected = append(collected, cells)
+	})
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range collected {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range collected {
+		line(r)
+	}
+}

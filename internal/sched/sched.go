@@ -11,8 +11,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmac/internal/matrix"
+	"dmac/internal/obs"
 )
 
 // Executor runs block tasks on a fixed number of local threads. It models
@@ -22,6 +24,10 @@ type Executor struct {
 	parallelism int
 	pool        *BufferPool
 	mem         *MemTracker
+	// tracer and metrics observe task batches when set (see SetObserver);
+	// atomic so enabling observability never races with running batches.
+	tracer  atomic.Pointer[obs.Tracer]
+	metrics atomic.Pointer[obs.Registry]
 }
 
 // NewExecutor creates an executor with the given local parallelism (L in the
@@ -50,6 +56,16 @@ func (e *Executor) Mem() *MemTracker { return e.mem }
 // Pool returns the executor's result buffer pool.
 func (e *Executor) Pool() *BufferPool { return e.pool }
 
+// SetObserver attaches a span tracer and a metrics registry to the
+// executor. Every subsequent task batch (ForEach/ForEachErr) emits one
+// "sched" span under the tracer's current scope, splitting the batch into
+// queue-wait and compute time, and feeds the batch-size histogram. Either
+// argument may be nil to disable that half.
+func (e *Executor) SetObserver(t *obs.Tracer, m *obs.Registry) {
+	e.tracer.Store(t)
+	e.metrics.Store(m)
+}
+
 // ForEach runs fn(i) for i in [0, n) on the executor's threads. It blocks
 // until all tasks complete. Tasks are pulled from a shared queue, matching
 // the task-queue model of Figure 4.
@@ -73,6 +89,34 @@ func (e *Executor) ForEachErr(n int, fn func(i int) error) error {
 	workers := e.parallelism
 	if workers > n {
 		workers = n
+	}
+	// Observability: one span per task batch with a queue-wait vs compute
+	// split. A task's queue wait is the time between batch submission and a
+	// worker picking it up; its compute time is the fn call itself. The
+	// wrapping only happens when a tracer is attached, so the disabled path
+	// costs one atomic load.
+	if tr := e.tracer.Load(); tr.Enabled() {
+		batchStart := time.Now()
+		batch := tr.Start("sched", "batch", tr.Scope(),
+			obs.Int64("tasks", int64(n)), obs.Int64("workers", int64(workers)))
+		var waitNs, computeNs atomic.Int64
+		inner := fn
+		fn = func(i int) error {
+			ts := time.Now()
+			waitNs.Add(ts.Sub(batchStart).Nanoseconds())
+			err := inner(i)
+			computeNs.Add(time.Since(ts).Nanoseconds())
+			return err
+		}
+		defer func() {
+			tr.End(batch,
+				obs.Float64("queue_wait_s", float64(waitNs.Load())/1e9),
+				obs.Float64("compute_s", float64(computeNs.Load())/1e9))
+			if m := e.metrics.Load(); m != nil {
+				m.Histogram("sched.batch.tasks", obs.TasksBuckets).Observe(float64(n))
+				m.Histogram("sched.batch.compute.seconds", obs.SecondsBuckets).Observe(float64(computeNs.Load()) / 1e9)
+			}
+		}()
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
