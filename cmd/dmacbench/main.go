@@ -9,6 +9,7 @@
 //	dmacbench -exp fig8 -graph LiveJournal
 //	dmacbench -chaos
 //	dmacbench -trace out.json -metrics-out metrics.json
+//	dmacbench -kernels -kernel-sizes 64,128,256,512 -kernels-out BENCH_kernels.json
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"dmac/internal/bench"
 )
@@ -30,9 +33,18 @@ func main() {
 	tracePath := flag.String("trace", "", "run a traced workload and write Chrome trace JSON to this path (skips -exp)")
 	traceApp := flag.String("trace-app", "pagerank", "application the -trace run executes: pagerank | gnmf | linreg")
 	metricsPath := flag.String("metrics-out", "", "with -trace, also write the metrics registry dump to this path")
+	kernels := flag.Bool("kernels", false, "run only the local kernel microbenchmarks")
+	kernelSizes := flag.String("kernel-sizes", "64,128,256,512", "comma-separated square block sizes for -kernels")
+	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report JSON to this path")
 	flag.Parse()
 
 	w := os.Stdout
+	if *kernels {
+		if err := runKernels(w, *kernelSizes, *kernelsOut); err != nil {
+			log.Fatalf("kernels: %v", err)
+		}
+		return
+	}
 	if *tracePath != "" {
 		if err := runTraced(w, *traceApp, *tracePath, *metricsPath, *iters, *scale); err != nil {
 			log.Fatalf("trace: %v", err)
@@ -152,6 +164,40 @@ func main() {
 		bench.WriteAblation(w, "Ablation: Re-assignment on its trigger workload", reassign)
 		return nil
 	})
+}
+
+// runKernels runs the kernel microbenchmark suite, prints the table, and
+// optionally writes the JSON artifact.
+func runKernels(w io.Writer, sizesCSV, outPath string) error {
+	var sizes []int
+	for _, s := range strings.Split(sizesCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("invalid kernel size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("no kernel sizes given")
+	}
+	rep := bench.Kernels(sizes)
+	bench.WriteKernels(w, rep)
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runTraced executes one traced workload and writes the Chrome trace JSON

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestKernelsSmoke runs the microbenchmark suite at tiny sizes and checks
+// report shape: every kernel at every size, speedups on the dense tiled
+// paths, and a JSON round trip.
+func TestKernelsSmoke(t *testing.T) {
+	sizes := []int{8, 48}
+	rep := Kernels(sizes)
+	wantKernels := []string{"dd-naive", "dd-tiled", "dd-nt", "dd-tn", "sd", "ds"}
+	if got, want := len(rep.Points), len(sizes)*len(wantKernels); got != want {
+		t.Fatalf("%d points, want %d", got, want)
+	}
+	seen := map[string]int{}
+	for _, p := range rep.Points {
+		seen[p.Kernel]++
+		if p.NsPerOp <= 0 || p.Reps <= 0 {
+			t.Errorf("%s/%d: non-positive timing %v reps %d", p.Kernel, p.Size, p.NsPerOp, p.Reps)
+		}
+		if p.GFLOPS <= 0 {
+			t.Errorf("%s/%d: non-positive GFLOPS", p.Kernel, p.Size)
+		}
+		switch p.Kernel {
+		case "dd-tiled", "dd-nt", "dd-tn":
+			if p.Speedup <= 0 {
+				t.Errorf("%s/%d: speedup not set", p.Kernel, p.Size)
+			}
+		default:
+			if p.Speedup != 0 {
+				t.Errorf("%s/%d: unexpected speedup %v", p.Kernel, p.Size, p.Speedup)
+			}
+		}
+	}
+	for _, k := range wantKernels {
+		if seen[k] != len(sizes) {
+			t.Errorf("kernel %s measured %d times, want %d", k, seen[k], len(sizes))
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(rep.Points) || back.GoArch != rep.GoArch {
+		t.Error("JSON round trip lost data")
+	}
+	WriteKernels(&buf, rep) // must not panic
+}

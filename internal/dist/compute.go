@@ -41,9 +41,10 @@ func (s MulStrategy) String() string {
 }
 
 // mulFLOPs estimates the arithmetic of a product from the operands' actual
-// non-zero structure.
-func mulFLOPs(a, b *matrix.Grid) float64 {
-	an, bn := float64(a.NNZ()), float64(b.NNZ())
+// non-zero structure. Dimensions are logical, so transpose views cost the
+// same as their materialized counterparts.
+func mulFLOPs(a, b *DistMatrix) float64 {
+	an, bn := float64(a.Grid.NNZ()), float64(b.Grid.NNZ())
 	inner := float64(a.Cols())
 	if inner == 0 {
 		return 0
@@ -73,11 +74,13 @@ func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep
 		return nil, fmt.Errorf("dist: %s requires schemes (%s,%s), got (%s,%s)",
 			strategy, want[0], want[1], a.Scheme, b.Scheme)
 	}
-	c.addFLOPs(stage, mulFLOPs(a.Grid, b.Grid))
+	c.addFLOPs(stage, mulFLOPs(a, b))
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
-	grid, err := c.exec.Mul(a.Grid, b.Grid, sched.InPlace)
+	// Transpose views are fused into the multiply kernels: the stored grids
+	// are read by stride, no transposed copy is allocated.
+	grid, err := c.exec.MulTrans(a.Grid, b.Grid, a.trans, b.trans, sched.InPlace)
 	if err != nil {
 		return nil, err
 	}
@@ -116,11 +119,18 @@ func (c *Cluster) Cellwise(op matrix.BinOp, a, b *DistMatrix) (*DistMatrix, erro
 		return nil, err
 	}
 	c.addFLOPs(c.stage(), float64(a.Rows())*float64(a.Cols()))
+	// Cell-wise ops commute with transposition: two views in the same
+	// orientation combine on their stored grids and stay a view. Mixed
+	// orientations force the view side to materialize first.
+	if a.trans != b.trans {
+		c.MaterializedGrid(a)
+		c.MaterializedGrid(b)
+	}
 	grid, err := c.exec.Cellwise(op, a.Grid, b.Grid)
 	if err != nil {
 		return nil, err
 	}
-	return &DistMatrix{Grid: grid, Scheme: a.Scheme}, nil
+	return &DistMatrix{Grid: grid, Scheme: a.Scheme, trans: a.trans}, nil
 }
 
 // Scalar runs a matrix-scalar operator; the scheme is preserved and no
@@ -133,7 +143,8 @@ func (c *Cluster) Scalar(op matrix.ScalarOp, a *DistMatrix, v float64) (*DistMat
 		return nil, err
 	}
 	c.addFLOPs(c.stage(), float64(a.Grid.NNZ()))
-	return &DistMatrix{Grid: c.exec.Scalar(op, a.Grid, v), Scheme: a.Scheme}, nil
+	// Scalar ops are element-local, so a transpose view passes through.
+	return &DistMatrix{Grid: c.exec.Scalar(op, a.Grid, v), Scheme: a.Scheme, trans: a.trans}, nil
 }
 
 // Apply evaluates a named element-wise function locally; the scheme is
@@ -146,7 +157,8 @@ func (c *Cluster) Apply(f matrix.UFunc, a *DistMatrix) (*DistMatrix, error) {
 		return nil, err
 	}
 	c.addFLOPs(c.stage(), 4*float64(a.Rows())*float64(a.Cols())) // transcendental-ish cost
-	return &DistMatrix{Grid: c.exec.Apply(f, a.Grid), Scheme: a.Scheme}, nil
+	// Element-wise functions commute with transposition as well.
+	return &DistMatrix{Grid: c.exec.Apply(f, a.Grid), Scheme: a.Scheme, trans: a.trans}, nil
 }
 
 // collect charges a tiny driver collect (8 bytes per alive worker) for an

@@ -328,15 +328,16 @@ func TestMulFLOPsEstimates(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	dense := randGrid(rng, 10, 10, 5, 1)
 	sparse := randGrid(rng, 10, 10, 5, 0.1)
-	dd := mulFLOPs(dense, dense)
+	dm := func(g *matrix.Grid) *DistMatrix { return NewDistMatrix(g, dep.Row) }
+	dd := mulFLOPs(dm(dense), dm(dense))
 	if want := 2.0 * 100 * 10; math.Abs(dd-want) > 1 {
 		t.Errorf("dense-dense FLOPs = %v, want %v", dd, want)
 	}
-	sd := mulFLOPs(sparse, dense)
+	sd := mulFLOPs(dm(sparse), dm(dense))
 	if sd >= dd {
 		t.Errorf("sparse-dense FLOPs %v should be below dense-dense %v", sd, dd)
 	}
-	if mulFLOPs(sparse, sparse) <= 0 && sparse.NNZ() > 0 {
+	if mulFLOPs(dm(sparse), dm(sparse)) <= 0 && sparse.NNZ() > 0 {
 		t.Error("sparse-sparse FLOPs should be positive")
 	}
 }

@@ -18,6 +18,13 @@ import (
 type DistMatrix struct {
 	Grid   *matrix.Grid
 	Scheme dep.Scheme
+	// trans marks a lazy transpose view: Grid holds the blocks in their
+	// stored orientation and every logical accessor (Rows, Cols, Bytes,
+	// Owner, ...) swaps dimensions. Views cost nothing to create; they are
+	// fused into multiplication kernels (sched.MulTrans) or materialized on
+	// demand by Cluster.MaterializedGrid for consumers that need the blocks
+	// laid out logically.
+	trans bool
 }
 
 // NewDistMatrix wraps a grid with a placement scheme.
@@ -26,25 +33,72 @@ func NewDistMatrix(g *matrix.Grid, scheme dep.Scheme) *DistMatrix {
 }
 
 // Rows returns the logical row count.
-func (m *DistMatrix) Rows() int { return m.Grid.Rows() }
+func (m *DistMatrix) Rows() int {
+	if m.trans {
+		return m.Grid.Cols()
+	}
+	return m.Grid.Rows()
+}
 
 // Cols returns the logical column count.
-func (m *DistMatrix) Cols() int { return m.Grid.Cols() }
+func (m *DistMatrix) Cols() int {
+	if m.trans {
+		return m.Grid.Rows()
+	}
+	return m.Grid.Cols()
+}
+
+// Trans reports whether the matrix is an unmaterialized transpose view.
+func (m *DistMatrix) Trans() bool { return m.trans }
 
 // Bytes returns the actual block memory footprint, which is what the
-// instrumented network charges for moving the matrix.
-func (m *DistMatrix) Bytes() int64 { return m.Grid.MemBytes() }
+// instrumented network charges for moving the matrix. For a transpose view
+// this is the footprint the transposed blocks would have if materialized, so
+// byte accounting is identical whether or not the view has been realized.
+func (m *DistMatrix) Bytes() int64 {
+	if m.trans {
+		return m.Grid.TransMemBytes()
+	}
+	return m.Grid.MemBytes()
+}
 
 // String describes the matrix.
 func (m *DistMatrix) String() string {
 	return fmt.Sprintf("%dx%d(%s)", m.Rows(), m.Cols(), m.Scheme)
 }
 
+// blockRows returns the logical block-row count.
+func (m *DistMatrix) blockRows() int {
+	if m.trans {
+		return m.Grid.BlockCols()
+	}
+	return m.Grid.BlockRows()
+}
+
+// blockCols returns the logical block-column count.
+func (m *DistMatrix) blockCols() int {
+	if m.trans {
+		return m.Grid.BlockRows()
+	}
+	return m.Grid.BlockCols()
+}
+
+// blockBytes returns the footprint of the block at logical coordinates
+// (bi, bj), accounting transposed sparse blocks at their materialized size.
+func (m *DistMatrix) blockBytes(bi, bj int) int64 {
+	if m.trans {
+		return matrix.TransMemBytes(m.Grid.Block(bj, bi))
+	}
+	return m.Grid.Block(bi, bj).MemBytes()
+}
+
 // Owner returns the worker a block is placed on under the matrix's scheme:
 // block-rows round-robin for Row, block-columns for Col, hash of the block
 // coordinates for hash placement. Broadcast replicas live everywhere
-// (worker 0 is reported). Blocks whose nominal owner has been killed are
-// deterministically re-assigned across the surviving workers.
+// (worker 0 is reported). Block coordinates are logical, so a transpose view
+// places block (bi, bj) exactly where the materialized transpose would.
+// Blocks whose nominal owner has been killed are deterministically
+// re-assigned across the surviving workers.
 func (c *Cluster) Owner(m *DistMatrix, bi, bj int) int {
 	k := c.cfg.Workers
 	var w int
@@ -56,7 +110,7 @@ func (c *Cluster) Owner(m *DistMatrix, bi, bj int) int {
 	case dep.Broadcast:
 		w = 0
 	default: // hash placement
-		w = (bi*m.Grid.BlockCols() + bj) % k
+		w = (bi*m.blockCols() + bj) % k
 	}
 	return c.reassignIfDead(w)
 }
@@ -70,10 +124,10 @@ func (c *Cluster) WorkerBytes(m *DistMatrix, w int) int64 {
 		return 0
 	}
 	var total int64
-	for bi := 0; bi < m.Grid.BlockRows(); bi++ {
-		for bj := 0; bj < m.Grid.BlockCols(); bj++ {
+	for bi := 0; bi < m.blockRows(); bi++ {
+		for bj := 0; bj < m.blockCols(); bj++ {
 			if c.Owner(m, bi, bj) == w {
-				total += m.Grid.Block(bi, bj).MemBytes()
+				total += m.blockBytes(bi, bj)
 			}
 		}
 	}
@@ -91,9 +145,9 @@ func (c *Cluster) LoadImbalance(m *DistMatrix) float64 {
 		return 1
 	}
 	loads := make([]int64, c.cfg.Workers)
-	for bi := 0; bi < m.Grid.BlockRows(); bi++ {
-		for bj := 0; bj < m.Grid.BlockCols(); bj++ {
-			loads[c.Owner(m, bi, bj)] += m.Grid.Block(bi, bj).MemBytes()
+	for bi := 0; bi < m.blockRows(); bi++ {
+		for bj := 0; bj < m.blockCols(); bj++ {
+			loads[c.Owner(m, bi, bj)] += m.blockBytes(bi, bj)
 		}
 	}
 	var max, total int64
@@ -110,6 +164,18 @@ func (c *Cluster) LoadImbalance(m *DistMatrix) float64 {
 	return float64(max) / mean
 }
 
+// MaterializedGrid returns the matrix's grid in its logical orientation,
+// realizing a lazy transpose view in place on first use. The modelled FLOPs
+// for the transpose were already charged when the view was created, so
+// materialization itself adds no model cost.
+func (c *Cluster) MaterializedGrid(m *DistMatrix) *matrix.Grid {
+	if m.trans {
+		m.Grid = c.exec.Transpose(m.Grid)
+		m.trans = false
+	}
+	return m.Grid
+}
+
 // Partition repartitions the matrix to a Row or Col scheme, charging |A| to
 // the network (the repartition shuffle of the partition extended operator).
 // stage attributes the traffic in per-stage statistics.
@@ -123,7 +189,7 @@ func (c *Cluster) Partition(m *DistMatrix, scheme dep.Scheme, stage int) (*DistM
 	c.net.AddComm(stage, m.Bytes())
 	c.traceComm(stage, "partition", m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()), obs.String("to_scheme", scheme.String()))
-	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
+	return &DistMatrix{Grid: m.Grid, Scheme: scheme, trans: m.trans}, nil
 }
 
 // Broadcast replicates the matrix on every alive worker, charging N x |A|
@@ -133,7 +199,7 @@ func (c *Cluster) Broadcast(m *DistMatrix, stage int) *DistMatrix {
 	c.net.AddBroadcast(stage, replicas*m.Bytes())
 	c.traceComm(stage, "broadcast", replicas*m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()), obs.Int64("replicas", replicas))
-	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast}
+	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast, trans: m.trans}
 }
 
 // Extract locally filters a broadcast replica down to a Row or Col
@@ -148,15 +214,19 @@ func (c *Cluster) Extract(m *DistMatrix, scheme dep.Scheme) (*DistMatrix, error)
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
-	return &DistMatrix{Grid: m.Grid, Scheme: scheme}, nil
+	return &DistMatrix{Grid: m.Grid, Scheme: scheme, trans: m.trans}, nil
 }
 
 // Transpose locally transposes the matrix; the scheme flips between Row and
 // Col (Broadcast and hash placements stay as they are). No communication
-// (the transpose extended operator).
+// (the transpose extended operator). The result is a lazy view sharing the
+// operand's blocks: downstream multiplications fuse it into their kernels,
+// and other consumers materialize it on demand. The modelled FLOPs are
+// charged here, when the transpose logically happens, so stage accounting is
+// independent of whether the view is ever realized.
 func (c *Cluster) Transpose(m *DistMatrix) *DistMatrix {
 	c.addFLOPs(c.stage(), float64(m.Grid.NNZ()))
-	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
+	return &DistMatrix{Grid: m.Grid, Scheme: m.Scheme.Opposite(), trans: !m.trans}
 }
 
 // ShuffleTranspose is the baseline transpose job: a full shuffle that
@@ -166,5 +236,10 @@ func (c *Cluster) ShuffleTranspose(m *DistMatrix, stage int) *DistMatrix {
 	c.traceComm(stage, "shuffle-transpose", m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()))
 	c.addFLOPs(stage, float64(m.Grid.NNZ()))
+	if m.trans {
+		// The stored grid already is the transpose of the view; the shuffle
+		// materializes it as-is.
+		return &DistMatrix{Grid: m.Grid, Scheme: m.Scheme.Opposite()}
+	}
 	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
 }

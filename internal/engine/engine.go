@@ -310,7 +310,9 @@ func (e *Engine) Grid(name string) (*matrix.Grid, bool) {
 	}
 	for _, s := range []dep.Scheme{dep.Row, dep.Col, dep.Broadcast, dep.SchemeNone} {
 		if inst, ok := vs.instances[s]; ok {
-			return inst.Grid, true
+			// A lazy transpose view is realized here (in place, once): Grid
+			// promises blocks in the variable's logical orientation.
+			return e.cluster.MaterializedGrid(inst), true
 		}
 	}
 	return nil, false

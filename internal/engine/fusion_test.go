@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+	"dmac/internal/obs"
+)
+
+// TestMulTransposeFusion: a program whose only transposes feed
+// multiplications must materialize no transposed grid — the trans flags ride
+// into the kernels, so the executor's transpose counter stays zero — while
+// producing the same numbers as the materializing reference.
+func TestMulTransposeFusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randDenseGrid(rng, tRows, tCols, tBS)
+
+	at := a.Transpose()
+	want, err := matrix.MulGrid(at, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, planner := range []Planner{Local, DMac} {
+		e := New(planner, testConfig(), tBS)
+		if err := e.Bind("A", a.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		e.SetObserver(nil, reg)
+
+		p := expr.NewProgram()
+		A := p.Var("A", tRows, tCols, 1)
+		p.Assign("G", p.Mul(A.T(), A))
+		if _, err := e.Run(p, nil); err != nil {
+			t.Fatalf("%s: %v", planner, err)
+		}
+		got, ok := e.Grid("G")
+		if !ok {
+			t.Fatalf("%s: G not materialized", planner)
+		}
+		if !matrix.GridEqual(got, want, 1e-9) {
+			t.Errorf("%s: t(A)*A differs from materializing reference", planner)
+		}
+		snap := reg.Snapshot()
+		if n := snap.Counters["exec.transpose.count"]; n != 0 {
+			t.Errorf("%s: %d transposed grids materialized on the multiply path, want 0", planner, n)
+		}
+		if n := snap.Counters["kernel.mul.count"]; n == 0 {
+			t.Errorf("%s: kernel.mul.count = 0, expected the fused kernel to run", planner)
+		}
+	}
+}

@@ -39,6 +39,18 @@ func (e *Engine) runLocal(p *expr.Program, params map[string]float64) (Metrics, 
 		return g
 	}
 
+	// fusedOperand resolves a multiplication input without materializing a
+	// transposed grid: the trans flag is pushed into the multiply kernels,
+	// which read the operand by stride. The modelled transpose FLOPs stay
+	// charged per use, so accounting matches the materializing path exactly.
+	fusedOperand := func(r expr.Ref) *matrix.Grid {
+		g := results[r.Node.ID]
+		if r.Transposed {
+			net.AddFLOPs(float64(g.NNZ()))
+		}
+		return g
+	}
+
 	for _, idx := range p.OperatorOrder() {
 		n := p.Nodes()[idx]
 		switch n.Kind {
@@ -61,11 +73,12 @@ func (e *Engine) runLocal(p *expr.Program, params map[string]float64) (Metrics, 
 				return Metrics{}, fmt.Errorf("engine: %q is %dx%d, program declares %dx%d",
 					n.Name, vs.rows, vs.cols, n.Rows, n.Cols)
 			}
-			results[n.ID] = inst.Grid
+			results[n.ID] = e.cluster.MaterializedGrid(inst)
 		case expr.KindMul:
-			a, b := operand(n.Inputs[0]), operand(n.Inputs[1])
-			net.AddFLOPs(localMulFLOPs(a, b))
-			g, err := exec.Mul(a, b, localMulStrategy)
+			ra, rb := n.Inputs[0], n.Inputs[1]
+			a, b := fusedOperand(ra), fusedOperand(rb)
+			net.AddFLOPs(localMulFLOPs(a, b, ra.Transposed))
+			g, err := exec.MulTrans(a, b, ra.Transposed, rb.Transposed, localMulStrategy)
 			if err != nil {
 				return Metrics{}, err
 			}
@@ -136,9 +149,15 @@ func scalarNameFor(p *expr.Program, n *expr.Node) string {
 	return fmt.Sprintf("m%d", n.ID)
 }
 
-func localMulFLOPs(a, b *matrix.Grid) float64 {
+// localMulFLOPs estimates the multiply's arithmetic; the inner dimension is
+// the logical one, so a fused transposed left operand costs the same as a
+// materialized transpose would.
+func localMulFLOPs(a, b *matrix.Grid, aT bool) float64 {
 	an, bn := float64(a.NNZ()), float64(b.NNZ())
 	inner := float64(a.Cols())
+	if aT {
+		inner = float64(a.Rows())
+	}
 	if inner == 0 {
 		return 0
 	}

@@ -106,10 +106,14 @@ func (d *DenseBlock) AddScalarInPlace(alpha float64) {
 // Zero resets all elements to 0; used when a block is recycled through the
 // result buffer pool.
 func (d *DenseBlock) Zero() {
-	for i := range d.Data {
-		d.Data[i] = 0
-	}
+	clear(d.Data)
 }
+
+// CapBytes returns the footprint of the full backing array, including any
+// slack capacity left by buffer-pool reuse. The pool accounts recycled blocks
+// at CapBytes so charges stay consistent when a large pooled block serves a
+// smaller request.
+func (d *DenseBlock) CapBytes() int64 { return 8 * int64(cap(d.Data)) }
 
 // Sum returns the sum of all elements.
 func (d *DenseBlock) Sum() float64 {

@@ -1,0 +1,17 @@
+//go:build amd64
+
+package matrix
+
+// gemmHaveAVX gates the assembly micro-kernel; when false the pure-Go
+// gemmMicro2x4 runs instead. Overridable in tests to force either path.
+var gemmHaveAVX = cpuSupportsAVX()
+
+// cpuSupportsAVX reports whether the CPU and OS support AVX YMM state.
+// Implemented in gemm_amd64.s.
+func cpuSupportsAVX() bool
+
+// gemmMicroAVX is the AVX implementation of gemmMicro2x4 (bit-identical
+// results). Implemented in gemm_amd64.s.
+//
+//go:noescape
+func gemmMicroAVX(c *float64, ldc int, ap, bp *float64, kw int)

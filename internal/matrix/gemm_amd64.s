@@ -1,0 +1,119 @@
+// AVX micro-kernel for the packed GEMM (see gemm.go). Guarded at runtime by
+// cpuSupportsAVX; the pure-Go gemmMicro2x4 is the fallback.
+//
+// The kernel deliberately uses separate VMULPD+VADDPD (no FMA): each lane
+// performs exactly the scalar kernel's mul-then-add with the same rounding
+// and the same k order, so AVX and fallback results are bit-identical.
+
+#include "textflag.h"
+
+// func cpuSupportsAVX() bool
+//
+// True when the CPU reports AVX and OSXSAVE and the OS has enabled YMM
+// state (XCR0 bits 1 and 2).
+TEXT ·cpuSupportsAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, R8
+	ANDL $0x18000000, R8 // OSXSAVE (27) | AVX (28)
+	CMPL R8, $0x18000000
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX          // XMM (1) | YMM (2) state enabled
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmMicroAVX(c *float64, ldc int, ap, bp *float64, kw int)
+//
+// c[0:2, 0:4] += Ap * Bp over kw, with Ap a packed gemmMR=2 row panel
+// (k-major, stride 2) and Bp a packed gemmNR=4 column panel (k-major,
+// stride 4). One YMM accumulator per result row; the k loop is unrolled
+// four times. The caller guarantees kw >= 1 and that both full result rows
+// are in bounds.
+TEXT ·gemmMicroAVX(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), DX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), BX
+	MOVQ kw+32(FP), CX
+
+	VXORPD Y0, Y0, Y0 // row 0 accumulator
+	VXORPD Y1, Y1, Y1 // row 1 accumulator
+
+	MOVQ CX, R9
+	SHRQ $2, R9  // R9 = kw/4 unrolled iterations
+	ANDQ $3, CX  // CX = kw%4 tail iterations
+	TESTQ R9, R9
+	JZ   tail
+
+loop4:
+	VMOVUPD      (BX), Y2
+	VBROADCASTSD (SI), Y3
+	VBROADCASTSD 8(SI), Y4
+	VMULPD       Y2, Y3, Y3
+	VADDPD       Y3, Y0, Y0
+	VMULPD       Y2, Y4, Y4
+	VADDPD       Y4, Y1, Y1
+
+	VMOVUPD      32(BX), Y5
+	VBROADCASTSD 16(SI), Y6
+	VBROADCASTSD 24(SI), Y7
+	VMULPD       Y5, Y6, Y6
+	VADDPD       Y6, Y0, Y0
+	VMULPD       Y5, Y7, Y7
+	VADDPD       Y7, Y1, Y1
+
+	VMOVUPD      64(BX), Y2
+	VBROADCASTSD 32(SI), Y3
+	VBROADCASTSD 40(SI), Y4
+	VMULPD       Y2, Y3, Y3
+	VADDPD       Y3, Y0, Y0
+	VMULPD       Y2, Y4, Y4
+	VADDPD       Y4, Y1, Y1
+
+	VMOVUPD      96(BX), Y5
+	VBROADCASTSD 48(SI), Y6
+	VBROADCASTSD 56(SI), Y7
+	VMULPD       Y5, Y6, Y6
+	VADDPD       Y6, Y0, Y0
+	VMULPD       Y5, Y7, Y7
+	VADDPD       Y7, Y1, Y1
+
+	ADDQ $64, SI
+	ADDQ $128, BX
+	DECQ R9
+	JNZ  loop4
+
+	TESTQ CX, CX
+	JZ   done
+
+tail:
+	VMOVUPD      (BX), Y2
+	VBROADCASTSD (SI), Y3
+	VBROADCASTSD 8(SI), Y4
+	VMULPD       Y2, Y3, Y3
+	VADDPD       Y3, Y0, Y0
+	VMULPD       Y2, Y4, Y4
+	VADDPD       Y4, Y1, Y1
+	ADDQ $16, SI
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  tail
+
+done:
+	VMOVUPD (DI), Y2
+	VADDPD  Y0, Y2, Y2
+	VMOVUPD Y2, (DI)
+	LEAQ    (DI)(DX*8), DI
+	VMOVUPD (DI), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package matrix
+
+// gemmHaveAVX is false on architectures without the assembly micro-kernel;
+// the pure-Go gemmMicro2x4 runs everywhere.
+var gemmHaveAVX = false
+
+// gemmMicroAVX is never called when gemmHaveAVX is false.
+func gemmMicroAVX(c *float64, ldc int, ap, bp *float64, kw int) {
+	panic("matrix: gemmMicroAVX without AVX support")
+}

@@ -170,6 +170,16 @@ func (g *Grid) MemBytes() int64 {
 	return m
 }
 
+// TransMemBytes returns the footprint the transposed grid would have if
+// materialized; used by lazy transpose views for exact byte accounting.
+func (g *Grid) TransMemBytes() int64 {
+	var m int64
+	for _, b := range g.blocks {
+		m += TransMemBytes(b)
+	}
+	return m
+}
+
 // Clone returns a deep copy of the grid.
 func (g *Grid) Clone() *Grid {
 	out := &Grid{rows: g.rows, cols: g.cols, bs: g.bs, brows: g.brows, bcols: g.bcols}

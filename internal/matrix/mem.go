@@ -24,6 +24,18 @@ func DenseMemBytes(rows, cols int) int64 {
 	return 8 * int64(rows) * int64(cols)
 }
 
+// TransMemBytes returns the memory footprint the transpose of b would have if
+// materialized. Dense blocks are symmetric under transposition; sparse blocks
+// swap the per-column pointer term to the other dimension. Lazy transpose
+// views use this so their byte accounting matches a materialized transpose
+// exactly.
+func TransMemBytes(b Block) int64 {
+	if b.IsSparse() {
+		return SparseMemBytes(b.Rows(), b.NNZ())
+	}
+	return b.MemBytes()
+}
+
 // GridMemBytes returns the total footprint of an M x N matrix with sparsity
 // s partitioned into m x m blocks, following Eq. 2 of the paper: the row
 // index and value arrays are invariant under partitioning, while every block

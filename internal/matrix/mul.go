@@ -1,42 +1,60 @@
 package matrix
 
+import "fmt"
+
 // Block multiplication kernels. MulAddInto is the In-Place primitive of
 // Section 5.3: all block products contributing to the same result block are
 // accumulated directly into that block, so no intermediate buffers are
 // allocated. The kernels specialize on the four density combinations; every
 // multiplication result is dense, matching the worst-case sparsity estimate
 // of Section 5.1 (multiplication output sparsity = 1).
+//
+// Every kernel additionally exists in transpose-fused form: MulAddTransInto
+// computes dst += op(a)*op(b) where either operand may be logically
+// transposed, reading the transposed operand by stride (dense) or by
+// reinterpreting CSC as CSR (sparse) instead of materializing a transposed
+// copy. The dense x dense path runs the register-tiled GEMM in gemm.go.
 
 // MulAddInto computes dst += a * b. dst must be an owned dense block of
 // shape a.Rows() x b.Cols().
 func MulAddInto(dst *DenseBlock, a, b Block) error {
-	if err := checkMulShape(a, b); err != nil {
-		return err
+	return MulAddTransInto(dst, a, b, false, false)
+}
+
+// MulAddTransInto computes dst += op(a) * op(b), where op(x) is x when the
+// corresponding flag is false and the transpose of x when true. dst must be
+// an owned dense block of the logical result shape. Transposed operands are
+// read in place — no transposed block is allocated on any path.
+func MulAddTransInto(dst *DenseBlock, a, b Block, aT, bT bool) error {
+	n, m := transDims(a, aT)
+	mb, p := transDims(b, bT)
+	if m != mb {
+		return fmt.Errorf("%w: %dx%d * %dx%d", ErrShape, n, m, mb, p)
 	}
-	if dst.Rows() != a.Rows() || dst.Cols() != b.Cols() {
-		return checkSameShape(dst, NewDense(a.Rows(), b.Cols()))
+	if dst.Rows() != n || dst.Cols() != p {
+		return fmt.Errorf("%w: %dx%d vs %dx%d", ErrShape, dst.Rows(), dst.Cols(), n, p)
 	}
 	switch at := a.(type) {
 	case *DenseBlock:
 		switch bt := b.(type) {
 		case *DenseBlock:
-			mulAddDD(dst, at, bt)
+			mulAddDDTrans(dst, at, bt, aT, bT)
 		case *CSCBlock:
-			mulAddDS(dst, at, bt)
+			mulAddDS(dst, at, bt, aT, bT)
 		default:
-			mulAddGeneric(dst, a, b)
+			mulAddGenericTrans(dst, a, b, aT, bT)
 		}
 	case *CSCBlock:
 		switch bt := b.(type) {
 		case *DenseBlock:
-			mulAddSD(dst, at, bt)
+			mulAddSD(dst, at, bt, aT, bT)
 		case *CSCBlock:
-			mulAddSS(dst, at, bt)
+			mulAddSS(dst, at, bt, aT, bT)
 		default:
-			mulAddGeneric(dst, a, b)
+			mulAddGenericTrans(dst, a, b, aT, bT)
 		}
 	default:
-		mulAddGeneric(dst, a, b)
+		mulAddGenericTrans(dst, a, b, aT, bT)
 	}
 	return nil
 }
@@ -53,10 +71,12 @@ func Mul(a, b Block) (*DenseBlock, error) {
 	return dst, nil
 }
 
-// mulAddDD is the dense x dense kernel (ikj loop order for cache locality).
-func mulAddDD(dst, a, b *DenseBlock) {
-	n, m, p := a.rows, a.cols, b.cols
-	for i := 0; i < n; i++ {
+// MulAddNaive is the pre-tiling dense x dense kernel (ikj loop order with a
+// per-element zero test). It is kept as the reference baseline for the kernel
+// microbenchmarks; production code dispatches through MulAddTransInto.
+func MulAddNaive(dst, a, b *DenseBlock) {
+	m, p := a.cols, b.cols
+	for i := 0; i < a.rows; i++ {
 		arow := a.Data[i*m : (i+1)*m]
 		drow := dst.Data[i*p : (i+1)*p]
 		for k, av := range arow {
@@ -71,64 +91,202 @@ func mulAddDD(dst, a, b *DenseBlock) {
 	}
 }
 
-// mulAddSD computes dst += A*B with sparse A (CSC) and dense B. Column k of
-// A pairs with row k of B: dst[i,:] += A[i,k] * B[k,:].
-func mulAddSD(dst *DenseBlock, a *CSCBlock, b *DenseBlock) {
-	p := b.cols
+// mulAddSD computes dst += op(A)*op(B) with sparse A (CSC) and dense B.
+// Untransposed, column k of A pairs with row k of B: dst[i,:] += A[i,k]*B[k,:].
+// With aT, stored column i of A is logical row i: dst[i,:] += A[k,i]*opB[k,:].
+// With bT, row k of op(B) is stored column k of B, read by stride.
+func mulAddSD(dst *DenseBlock, a *CSCBlock, b *DenseBlock, aT, bT bool) {
+	p := dst.cols
+	ldb := b.cols
+	if aT {
+		// op(A)[i,k] = A[k,i]: enumerate stored column i; entries are (k, av).
+		for i := 0; i < a.cols; i++ {
+			drow := dst.Data[i*p : (i+1)*p]
+			for idx := a.ColPtr[i]; idx < a.ColPtr[i+1]; idx++ {
+				k := int(a.RowIdx[idx])
+				av := a.Values[idx]
+				if bT {
+					for j := 0; j < p; j++ {
+						drow[j] += av * b.Data[j*ldb+k]
+					}
+				} else {
+					brow := b.Data[k*ldb : k*ldb+p]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+		return
+	}
 	for k := 0; k < a.cols; k++ {
-		brow := b.Data[k*p : (k+1)*p]
 		for idx := a.ColPtr[k]; idx < a.ColPtr[k+1]; idx++ {
 			i := int(a.RowIdx[idx])
 			av := a.Values[idx]
 			drow := dst.Data[i*p : (i+1)*p]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			if bT {
+				for j := 0; j < p; j++ {
+					drow[j] += av * b.Data[j*ldb+k]
+				}
+			} else {
+				brow := b.Data[k*ldb : k*ldb+p]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
 	}
 }
 
-// mulAddDS computes dst += A*B with dense A and sparse B (CSC). Column j of
-// B selects columns of A: dst[:,j] += A[:,k] * B[k,j].
-func mulAddDS(dst *DenseBlock, a *DenseBlock, b *CSCBlock) {
-	m, p := a.cols, b.cols
-	for j := 0; j < b.cols; j++ {
-		for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
-			k := int(b.RowIdx[idx])
-			bv := b.Values[idx]
-			for i := 0; i < a.rows; i++ {
-				dst.Data[i*p+j] += a.Data[i*m+k] * bv
-			}
-		}
-	}
-}
-
-// mulAddSS computes dst += A*B with both operands sparse. For every stored
-// B[k,j], scatter column k of A scaled by B[k,j] into dst column j.
-func mulAddSS(dst *DenseBlock, a, b *CSCBlock) {
+// mulAddDS computes dst += op(A)*op(B) with dense A and sparse B (CSC).
+// Untransposed, the result is built row-by-row: dst[i,j] is the dot product
+// of dense row i with stored column j of B, so dst is written with unit
+// stride (the old kernel scattered down dst columns, thrashing the cache).
+// With bT, op(B) is the CSR view of B: stored column k of B lists the
+// (j, bv) pairs of logical row k, giving a row-major saxpy.
+func mulAddDS(dst *DenseBlock, a *DenseBlock, b *CSCBlock, aT, bT bool) {
+	n := dst.rows
 	p := dst.cols
-	for j := 0; j < b.cols; j++ {
-		for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
-			k := int(b.RowIdx[idx])
-			bv := b.Values[idx]
+	lda := a.cols
+	if bT {
+		// op(B)[k,j] = B[j,k]: stored column k of B holds row k of op(B).
+		for i := 0; i < n; i++ {
+			drow := dst.Data[i*p : (i+1)*p]
+			for k := 0; k < b.cols; k++ {
+				var av float64
+				if aT {
+					av = a.Data[k*lda+i]
+				} else {
+					av = a.Data[i*lda+k]
+				}
+				if av == 0 {
+					continue
+				}
+				for idx := b.ColPtr[k]; idx < b.ColPtr[k+1]; idx++ {
+					drow[b.RowIdx[idx]] += av * b.Values[idx]
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		drow := dst.Data[i*p : (i+1)*p]
+		if aT {
+			for j := 0; j < b.cols; j++ {
+				s := 0.0
+				for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
+					s += a.Data[int(b.RowIdx[idx])*lda+i] * b.Values[idx]
+				}
+				drow[j] += s
+			}
+			continue
+		}
+		arow := a.Data[i*lda : (i+1)*lda]
+		for j := 0; j < b.cols; j++ {
+			s := 0.0
+			for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
+				s += arow[b.RowIdx[idx]] * b.Values[idx]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// mulAddSS computes dst += op(A)*op(B) with both operands sparse. Each
+// transpose combination maps to a different iteration over the CSC storage:
+//
+//	NN: for every stored B[k,j], scatter column k of A into dst column j.
+//	NT: outer products — column k of A times column k of B (CSR row of opB).
+//	TN: dst[i,j] is the merge-dot of stored columns A[:,i] and B[:,j], whose
+//	    row indices are sorted, so the intersection is a linear merge.
+//	TT: stored column i of A is logical row i of op(A); chase its (k, av)
+//	    entries into stored column k of B (logical row k of op(B)).
+func mulAddSS(dst *DenseBlock, a, b *CSCBlock, aT, bT bool) {
+	p := dst.cols
+	switch {
+	case !aT && !bT:
+		for j := 0; j < b.cols; j++ {
+			for idx := b.ColPtr[j]; idx < b.ColPtr[j+1]; idx++ {
+				k := int(b.RowIdx[idx])
+				bv := b.Values[idx]
+				for ka := a.ColPtr[k]; ka < a.ColPtr[k+1]; ka++ {
+					dst.Data[int(a.RowIdx[ka])*p+j] += a.Values[ka] * bv
+				}
+			}
+		}
+	case !aT && bT:
+		for k := 0; k < a.cols; k++ {
 			for ka := a.ColPtr[k]; ka < a.ColPtr[k+1]; ka++ {
-				dst.Data[int(a.RowIdx[ka])*p+j] += a.Values[ka] * bv
+				i := int(a.RowIdx[ka])
+				av := a.Values[ka]
+				drow := dst.Data[i*p : (i+1)*p]
+				for kb := b.ColPtr[k]; kb < b.ColPtr[k+1]; kb++ {
+					drow[b.RowIdx[kb]] += av * b.Values[kb]
+				}
+			}
+		}
+	case aT && !bT:
+		for i := 0; i < a.cols; i++ {
+			drow := dst.Data[i*p : (i+1)*p]
+			for j := 0; j < b.cols; j++ {
+				ka, kb := a.ColPtr[i], b.ColPtr[j]
+				ea, eb := a.ColPtr[i+1], b.ColPtr[j+1]
+				s := 0.0
+				for ka < ea && kb < eb {
+					ra, rb := a.RowIdx[ka], b.RowIdx[kb]
+					switch {
+					case ra == rb:
+						s += a.Values[ka] * b.Values[kb]
+						ka++
+						kb++
+					case ra < rb:
+						ka++
+					default:
+						kb++
+					}
+				}
+				drow[j] += s
+			}
+		}
+	default: // aT && bT
+		for i := 0; i < a.cols; i++ {
+			drow := dst.Data[i*p : (i+1)*p]
+			for ka := a.ColPtr[i]; ka < a.ColPtr[i+1]; ka++ {
+				k := int(a.RowIdx[ka])
+				av := a.Values[ka]
+				for kb := b.ColPtr[k]; kb < b.ColPtr[k+1]; kb++ {
+					drow[b.RowIdx[kb]] += av * b.Values[kb]
+				}
 			}
 		}
 	}
 }
 
-// mulAddGeneric is the fallback for unknown Block implementations.
-func mulAddGeneric(dst *DenseBlock, a, b Block) {
-	n, m, p := a.Rows(), a.Cols(), b.Cols()
+// mulAddGenericTrans is the At-based fallback for unknown Block
+// implementations; transposition is absorbed by swapping indices.
+func mulAddGenericTrans(dst *DenseBlock, a, b Block, aT, bT bool) {
+	n, m := transDims(a, aT)
+	_, p := transDims(b, bT)
+	at := func(i, k int) float64 {
+		if aT {
+			return a.At(k, i)
+		}
+		return a.At(i, k)
+	}
+	bt := func(k, j int) float64 {
+		if bT {
+			return b.At(j, k)
+		}
+		return b.At(k, j)
+	}
 	for i := 0; i < n; i++ {
 		for k := 0; k < m; k++ {
-			av := a.At(i, k)
+			av := at(i, k)
 			if av == 0 {
 				continue
 			}
 			for j := 0; j < p; j++ {
-				dst.Data[i*p+j] += av * b.At(k, j)
+				dst.Data[i*p+j] += av * bt(k, j)
 			}
 		}
 	}

@@ -116,11 +116,14 @@ type HistogramSnapshot struct {
 
 // Default bucket layouts. Byte buckets are powers of 4 from 256 B to 4 GiB;
 // second buckets are powers of 10 from 1 µs to 100 s; task buckets are
-// powers of 4 from 1 to 16384.
+// powers of 4 from 1 to 16384; GFLOPS buckets are powers of 2 from
+// 1/64 GFLOPS to 512 GFLOPS, covering scalar Go kernels through vectorized
+// BLAS.
 var (
 	BytesBuckets   = geometric(256, 4, 12)
 	SecondsBuckets = geometric(1e-6, 10, 9)
 	TasksBuckets   = geometric(1, 4, 8)
+	GFLOPSBuckets  = geometric(1.0/64, 2, 16)
 )
 
 func geometric(start, factor float64, n int) []float64 {

@@ -11,6 +11,11 @@ import (
 // and either returns it (Release) or detaches it to keep it as a result
 // block (Detach). Pooled blocks are accounted against the memory tracker
 // while they live in the pool.
+//
+// All accounting uses the full backing-array footprint (DenseBlock.CapBytes):
+// a recycled block can carry slack capacity from a larger previous life, and
+// charging the logical rows*cols while the pool charged cap(Data) would leak
+// phantom bytes on every oversized reuse.
 type BufferPool struct {
 	mu      sync.Mutex
 	free    []*matrix.DenseBlock
@@ -29,47 +34,62 @@ func NewBufferPool(maxIdle int, mem *MemTracker) *BufferPool {
 	return &BufferPool{maxIdle: maxIdle, mem: mem}
 }
 
-// Acquire returns a zeroed rows x cols dense block, reusing a pooled block
-// whose backing array is large enough when possible.
+// Acquire returns a zeroed rows x cols dense block, reusing the pooled block
+// with the smallest sufficient backing array (best fit). First fit could hand
+// a huge block to a tiny request and then allocate fresh for the next big
+// request; best fit keeps large pooled arrays available for the requests
+// that need them.
 func (p *BufferPool) Acquire(rows, cols int) *matrix.DenseBlock {
 	need := rows * cols
 	p.mu.Lock()
+	best := -1
 	for i, b := range p.free {
-		if cap(b.Data) >= need {
-			last := len(p.free) - 1
-			p.free[i] = p.free[last]
-			p.free = p.free[:last]
-			p.mu.Unlock()
-			p.mem.Sub(int64(8 * cap(b.Data)))
-			blk := matrix.NewDenseData(rows, cols, b.Data[:need])
-			blk.Zero()
-			p.mem.Add(blk.MemBytes())
-			return blk
+		c := cap(b.Data)
+		if c < need {
+			continue
 		}
+		if best < 0 || c < cap(p.free[best].Data) {
+			best = i
+			if c == need {
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		b := p.free[best]
+		last := len(p.free) - 1
+		p.free[best] = p.free[last]
+		p.free = p.free[:last]
+		p.mu.Unlock()
+		p.mem.Sub(b.CapBytes())
+		blk := matrix.NewDenseData(rows, cols, b.Data[:need])
+		blk.Zero()
+		p.mem.Add(blk.CapBytes())
+		return blk
 	}
 	p.mu.Unlock()
 	blk := matrix.NewDense(rows, cols)
-	p.mem.Add(blk.MemBytes())
+	p.mem.Add(blk.CapBytes())
 	return blk
 }
 
 // Release returns a block to the pool for reuse. If the pool is full the
-// block is dropped (its memory accounting is removed either way; pooled
-// blocks are re-accounted at the pooled capacity).
+// block is dropped; its accounting is removed either way, and pooled blocks
+// are re-accounted at the same capacity footprint they were charged at.
 func (p *BufferPool) Release(b *matrix.DenseBlock) {
-	p.mem.Sub(b.MemBytes())
+	p.mem.Sub(b.CapBytes())
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.free) < p.maxIdle {
 		p.free = append(p.free, b)
-		p.mem.Add(int64(8 * cap(b.Data)))
+		p.mem.Add(b.CapBytes())
 	}
 }
 
 // Detach removes a block from pool accounting so the caller can keep it as
 // a long-lived result; the caller takes over memory accounting.
 func (p *BufferPool) Detach(b *matrix.DenseBlock) *matrix.DenseBlock {
-	p.mem.Sub(b.MemBytes())
+	p.mem.Sub(b.CapBytes())
 	return b
 }
 

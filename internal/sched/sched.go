@@ -190,27 +190,85 @@ func (s MulStrategy) String() string {
 // must share a block size. The result is a dense grid (worst-case sparsity
 // of a product is 1, Section 5.1).
 func (e *Executor) Mul(a, b *matrix.Grid, strategy MulStrategy) (*matrix.Grid, error) {
-	if a.Cols() != b.Rows() {
-		return nil, fmt.Errorf("%w: %dx%d * %dx%d", matrix.ErrShape, a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	return e.MulTrans(a, b, false, false, strategy)
+}
+
+// MulTrans multiplies op(a) * op(b), where op(x) is x or its transpose
+// according to the aT/bT flags. Transposition is fused into the block
+// kernels: logical block (bi, bk) of a transposed grid is stored block
+// (bk, bi) read by stride, so no transposed grid or block is ever
+// materialized on the multiply path. When a metrics registry is attached the
+// achieved GFLOPS of the whole multiply is recorded under kernel.mul.*.
+func (e *Executor) MulTrans(a, b *matrix.Grid, aT, bT bool, strategy MulStrategy) (*matrix.Grid, error) {
+	aRows, aCols := gridDims(a, aT)
+	bRows, bCols := gridDims(b, bT)
+	if aCols != bRows {
+		return nil, fmt.Errorf("%w: %dx%d * %dx%d", matrix.ErrShape, aRows, aCols, bRows, bCols)
 	}
 	if a.BlockSize() != b.BlockSize() {
 		return nil, fmt.Errorf("%w: block sizes %d vs %d", matrix.ErrShape, a.BlockSize(), b.BlockSize())
 	}
+	m := e.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	var out *matrix.Grid
 	switch strategy {
 	case InPlace:
-		return e.mulInPlace(a, b), nil
+		out = e.mulInPlace(a, b, aT, bT)
 	case Buffer:
-		return e.mulBuffer(a, b), nil
+		out = e.mulBuffer(a, b, aT, bT)
 	default:
 		return nil, fmt.Errorf("sched: unknown multiplication strategy %d", strategy)
 	}
+	if m != nil {
+		elapsed := time.Since(start).Seconds()
+		flops := mulWorkFLOPs(a, b, aCols)
+		m.Counter("kernel.mul.count").Inc()
+		m.Counter("kernel.mul.flops").Add(int64(flops))
+		if elapsed > 0 && flops > 0 {
+			gf := flops / elapsed / 1e9
+			m.Gauge("kernel.mul.gflops").Set(gf)
+			m.Histogram("kernel.mul.gflops", obs.GFLOPSBuckets).Observe(gf)
+		}
+	}
+	return out, nil
+}
+
+// gridDims returns the logical dimensions of op(g).
+func gridDims(g *matrix.Grid, t bool) (rows, cols int) {
+	if t {
+		return g.Cols(), g.Rows()
+	}
+	return g.Rows(), g.Cols()
+}
+
+// mulWorkFLOPs estimates the multiply's floating-point work with the
+// sparsity model of Section 5.1: each stored element of a meets roughly
+// nnz(b)/inner stored elements of b, at a multiply-add (2 flops) each.
+func mulWorkFLOPs(a, b *matrix.Grid, inner int) float64 {
+	if inner <= 0 {
+		return 0
+	}
+	per := b.NNZ() / inner
+	if per < 1 {
+		per = 1
+	}
+	return 2 * float64(a.NNZ()) * float64(per)
 }
 
 // mulInPlace: one task per result block; each task accumulates its full
 // inner-dimension sum into a single owned block.
-func (e *Executor) mulInPlace(a, b *matrix.Grid) *matrix.Grid {
-	out := matrix.NewGrid(a.Rows(), b.Cols(), a.BlockSize())
-	brows, bcols, inner := a.BlockRows(), b.BlockCols(), a.BlockCols()
+func (e *Executor) mulInPlace(a, b *matrix.Grid, aT, bT bool) *matrix.Grid {
+	aRows, _ := gridDims(a, aT)
+	_, bCols := gridDims(b, bT)
+	out := matrix.NewGrid(aRows, bCols, a.BlockSize())
+	brows, bcols := out.BlockRows(), out.BlockCols()
+	inner := a.BlockCols()
+	if aT {
+		inner = a.BlockRows()
+	}
 	e.ForEach(brows*bcols, func(idx int) {
 		bi, bj := idx/bcols, idx%bcols
 		r, c := out.BlockDims(bi, bj)
@@ -218,33 +276,47 @@ func (e *Executor) mulInPlace(a, b *matrix.Grid) *matrix.Grid {
 		for k := 0; k < inner; k++ {
 			// Accumulate directly into the result block: no intermediate
 			// product blocks exist at any point.
-			if err := matrix.MulAddInto(dst, a.Block(bi, k), b.Block(k, bj)); err != nil {
-				panic(err) // shapes were validated by Mul
+			if err := matrix.MulAddTransInto(dst, gridBlock(a, bi, k, aT), gridBlock(b, k, bj, bT), aT, bT); err != nil {
+				panic(err) // shapes were validated by MulTrans
 			}
 		}
 		// The block leaves the pool and becomes part of the result.
 		final := e.pool.Detach(dst)
-		e.mem.Add(final.MemBytes())
+		e.mem.Add(final.CapBytes())
 		out.SetBlock(bi, bj, final)
 	})
 	return out
 }
 
+// gridBlock returns the block at logical block coordinates (bi, bj) of
+// op(g): the stored block at (bj, bi) when transposed.
+func gridBlock(g *matrix.Grid, bi, bj int, t bool) matrix.Block {
+	if t {
+		return g.Block(bj, bi)
+	}
+	return g.Block(bi, bj)
+}
+
 // mulBuffer: one task per (bi, k, bj) block product; all intermediate blocks
 // are buffered and aggregated afterwards.
-func (e *Executor) mulBuffer(a, b *matrix.Grid) *matrix.Grid {
-	out := matrix.NewGrid(a.Rows(), b.Cols(), a.BlockSize())
-	brows, bcols, inner := a.BlockRows(), b.BlockCols(), a.BlockCols()
+func (e *Executor) mulBuffer(a, b *matrix.Grid, aT, bT bool) *matrix.Grid {
+	aRows, _ := gridDims(a, aT)
+	_, bCols := gridDims(b, bT)
+	out := matrix.NewGrid(aRows, bCols, a.BlockSize())
+	brows, bcols := out.BlockRows(), out.BlockCols()
+	inner := a.BlockCols()
+	if aT {
+		inner = a.BlockRows()
+	}
 	intermediates := make([]*matrix.DenseBlock, brows*bcols*inner)
 	e.ForEach(brows*bcols*inner, func(idx int) {
 		bi := idx / (bcols * inner)
 		rem := idx % (bcols * inner)
 		bj, k := rem/inner, rem%inner
-		r, _ := out.BlockDims(bi, bj)
-		_, c := out.BlockDims(bi, bj)
+		r, c := out.BlockDims(bi, bj)
 		prod := matrix.NewDense(r, c)
 		e.mem.Add(prod.MemBytes())
-		if err := matrix.MulAddInto(prod, a.Block(bi, k), b.Block(k, bj)); err != nil {
+		if err := matrix.MulAddTransInto(prod, gridBlock(a, bi, k, aT), gridBlock(b, k, bj, bT), aT, bT); err != nil {
 			panic(err)
 		}
 		intermediates[idx] = prod
@@ -321,8 +393,13 @@ func (e *Executor) Apply(f matrix.UFunc, a *matrix.Grid) *matrix.Grid {
 }
 
 // Transpose transposes a grid in parallel (a purely local operation: this is
-// what makes the Transpose dependency communication-free).
+// what makes the Transpose dependency communication-free). Each call counts
+// against exec.transpose.count when metrics are attached, which is how tests
+// verify that the fused multiply path materializes no transposed grid.
 func (e *Executor) Transpose(a *matrix.Grid) *matrix.Grid {
+	if m := e.metrics.Load(); m != nil {
+		m.Counter("exec.transpose.count").Inc()
+	}
 	out := matrix.NewGrid(a.Cols(), a.Rows(), a.BlockSize())
 	bcols := a.BlockCols()
 	e.ForEach(a.BlockRows()*bcols, func(idx int) {
