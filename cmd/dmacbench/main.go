@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,11 +26,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | chaos | all")
+	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | chaos | checkpoint | all")
 	iters := flag.Int("iters", 10, "iterations for iterative workloads")
 	scale := flag.Int("scale", 40, "Netflix scale denominator for fig6/table4")
 	graph := flag.String("graph", "soc-pokec", "graph for fig8")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos sweep")
+	chaosCorrupt := flag.Bool("chaos-corrupt", false, "with -chaos, restrict the sweep to fault plans that inject block corruption (the CI smoke configuration)")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory for the chaos sweep and the checkpoint experiment (default: a temp dir for the checkpoint experiment, disabled for chaos)")
+	timeout := flag.Duration("timeout", 0, "deadline for the chaos sweep and checkpoint experiment (0 = none); runs abort cleanly between stages and block tasks")
 	tracePath := flag.String("trace", "", "run a traced workload and write Chrome trace JSON to this path (skips -exp)")
 	traceApp := flag.String("trace-app", "pagerank", "application the -trace run executes: pagerank | gnmf | linreg")
 	metricsPath := flag.String("metrics-out", "", "with -trace, also write the metrics registry dump to this path")
@@ -37,6 +41,20 @@ func main() {
 	kernelSizes := flag.String("kernel-sizes", "64,128,256,512", "comma-separated square block sizes for -kernels")
 	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report JSON to this path")
 	flag.Parse()
+
+	// Validate the sweep's fault plans up front: a malformed plan should die
+	// with a descriptive error here, not as silently odd fault behaviour
+	// deep inside a run.
+	for _, cp := range bench.ChaosPlans() {
+		if err := cp.Plan.Validate(); err != nil {
+			log.Fatalf("fault plan %s: %v", cp.Name, err)
+		}
+	}
+	chaosOpts := bench.ChaosOptions{
+		CheckpointDir: *checkpointDir,
+		CorruptOnly:   *chaosCorrupt,
+		Timeout:       *timeout,
+	}
 
 	w := os.Stdout
 	if *kernels {
@@ -52,7 +70,7 @@ func main() {
 		return
 	}
 	if *chaos {
-		if err := bench.Chaos(w); err != nil {
+		if err := bench.Chaos(w, chaosOpts); err != nil {
 			log.Fatalf("chaos: %v", err)
 		}
 		return
@@ -140,7 +158,30 @@ func main() {
 		return nil
 	})
 	run("chaos", func() error {
-		return bench.Chaos(w)
+		return bench.Chaos(w, chaosOpts)
+	})
+	run("checkpoint", func() error {
+		dir := *checkpointDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "dmac-ckpt-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		rows, killStage, err := bench.CheckpointSweep(ctx, dir, []int{0, 4, 2, 1}, 3)
+		if err != nil {
+			return err
+		}
+		bench.WriteCheckpointSweep(w, killStage, rows)
+		return nil
 	})
 	run("ablation", func() error {
 		gnmf, err := bench.AblationGNMF(3)

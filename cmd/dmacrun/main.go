@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,8 @@ func main() {
 	scale := flag.Int("scale", 40, "dataset scale denominator")
 	workers := flag.Int("workers", 4, "cluster workers")
 	k := flag.Int("k", 32, "factor size / rank where applicable")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole run (0 = none); the engine aborts cleanly between stages and block tasks")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint session values into this directory (interval 1); recovery after injected or simulated failures restores snapshots instead of replaying lineage")
 	tracePath := flag.String("trace", "", "write a Chrome trace JSON of the run to this path")
 	metricsPath := flag.String("metrics-out", "", "write the metrics registry dump to this path")
 	flag.Parse()
@@ -46,7 +49,14 @@ func main() {
 		registry = dmac.NewMetricsRegistry()
 	}
 
-	res, err := run(*app, planner, *iters, *scale, *workers, *k, tracer, registry)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := run(ctx, *app, planner, *iters, *scale, *workers, *k, *checkpointDir, tracer, registry)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,10 +100,16 @@ func writeFile(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
-func run(app string, planner dmac.Planner, iters, scale, workers, k int, tracer *dmac.Tracer, registry *dmac.MetricsRegistry) (*dmac.AppResult, error) {
+func run(ctx context.Context, app string, planner dmac.Planner, iters, scale, workers, k int, checkpointDir string, tracer *dmac.Tracer, registry *dmac.MetricsRegistry) (*dmac.AppResult, error) {
 	cfg := dmac.ClusterConfig{Workers: workers, LocalParallelism: 8}
 	newSession := func(bs int) *dmac.Session {
 		s := dmac.NewSession(planner, cfg, bs)
+		s.SetBaseContext(ctx)
+		if checkpointDir != "" {
+			if err := s.SetCheckpoint(checkpointDir, dmac.CheckpointPolicy{Interval: 1}); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+		}
 		if tracer != nil || registry != nil {
 			s.SetObserver(tracer, registry)
 		}

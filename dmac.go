@@ -71,12 +71,17 @@ type (
 	UFunc = matrix.UFunc
 	// FaultPlan deterministically injects worker faults into a session's
 	// cluster (set ClusterConfig.Faults); the runtime recovers via stage
-	// retry and lineage recomputation.
+	// retry and lineage recomputation — or, with Session.SetCheckpoint, by
+	// restoring the newest valid snapshot. Validate rejects malformed plans.
 	FaultPlan = dist.FaultPlan
 	// FaultEvent is one scripted fault of a FaultPlan.
 	FaultEvent = dist.FaultEvent
-	// FaultKind discriminates kill and delay faults.
+	// FaultKind discriminates kill, delay and corruption faults.
 	FaultKind = dist.FaultKind
+	// CheckpointPolicy decides when a session snapshots its live values
+	// (Session.SetCheckpoint): a fixed stage interval, a cost-model trigger,
+	// or both.
+	CheckpointPolicy = engine.CheckpointPolicy
 	// WorkerFailure is the error a stage attempt fails with when a worker is
 	// lost (recovered internally; visible only when retries are exhausted).
 	WorkerFailure = dist.WorkerFailure
@@ -132,6 +137,10 @@ const (
 	FaultKillTask = dist.FaultKillTask
 	// FaultDelay stalls a stage without losing data.
 	FaultDelay = dist.FaultDelay
+	// FaultCorrupt flips bytes in a block in transit at the stage's first
+	// hand-off; the checksum at hand-off detects, quarantines and re-fetches
+	// it (counted in Metrics.CorruptionsInjected/Detected).
+	FaultCorrupt = dist.FaultCorrupt
 )
 
 // RandomFaultPlan returns a seeded fault plan that kills each (stage,

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"path/filepath"
+	"time"
 
 	"dmac/internal/apps"
 	"dmac/internal/dist"
@@ -76,8 +79,9 @@ type ChaosPlan struct {
 }
 
 // ChaosPlans returns the fixed fault plans of the chaos sweep. Stage 1
-// exists in every plan (stages are 1-based), so the scripted kills are
-// guaranteed to fire; the random plan adds seeded kills across all stages.
+// exists in every plan (stages are 1-based), so the scripted kills and
+// corruptions are guaranteed to fire; the random plans add seeded faults
+// across all stages.
 func ChaosPlans() []ChaosPlan {
 	return []ChaosPlan{
 		{
@@ -98,7 +102,59 @@ func ChaosPlans() []ChaosPlan {
 			Name: "random-15pct",
 			Plan: dist.RandomFaultPlan(7, 0.15),
 		},
+		{
+			// Pure block corruption: bytes flipped in transit must be caught
+			// by the hand-off checksum, quarantined and re-fetched, leaving
+			// results untouched.
+			Name: "corrupt",
+			Plan: dist.FaultPlan{Events: []dist.FaultEvent{
+				{Stage: 1, Worker: 1, Attempt: 0, Kind: dist.FaultCorrupt},
+				{Stage: 2, Worker: 3, Attempt: 0, Kind: dist.FaultCorrupt},
+			}},
+		},
+		{
+			// Combined regime: worker kills racing seeded corruption — the
+			// acceptance gate for end-to-end integrity under recovery.
+			Name: "kill+corrupt",
+			Plan: dist.FaultPlan{
+				Seed:        5,
+				CorruptRate: 0.2,
+				Events: []dist.FaultEvent{
+					{Stage: 1, Worker: 2, Attempt: 0, Kind: dist.FaultCorrupt},
+					{Stage: 2, Worker: 1, Attempt: 0, Kind: dist.FaultKillBoundary},
+				},
+			},
+		},
 	}
+}
+
+// planCorrupts reports whether a fault plan injects block corruption.
+func planCorrupts(p dist.FaultPlan) bool {
+	if p.CorruptRate > 0 {
+		return true
+	}
+	for _, ev := range p.Events {
+		if ev.Kind == dist.FaultCorrupt {
+			return true
+		}
+	}
+	return false
+}
+
+// ChaosOptions configures a chaos sweep. The zero value reproduces the
+// default full sweep.
+type ChaosOptions struct {
+	// CheckpointDir, when non-empty, gives every faulted engine a durable
+	// checkpoint directory (interval 1), so recovery restores snapshots
+	// instead of replaying full lineage. Each sweep cell checkpoints into
+	// its own subdirectory.
+	CheckpointDir string
+	// CorruptOnly restricts the sweep to fault plans that inject block
+	// corruption — the CI smoke configuration.
+	CorruptOnly bool
+	// Timeout, when positive, bounds the whole sweep with a context
+	// deadline observed between stages and between block tasks.
+	Timeout time.Duration
 }
 
 // ChaosResult is one cell of the sweep: a workload run under a fault plan,
@@ -111,6 +167,15 @@ type ChaosResult struct {
 	CommBytes     int64
 	ModelSec      float64
 	DeadWorkers   int
+	// CorruptionsInjected and CorruptionsDetected count fired block
+	// corruptions and those the hand-off checksum caught; equal counts are
+	// the integrity invariant.
+	CorruptionsInjected int
+	CorruptionsDetected int
+	// StagesReplayed and CheckpointBytes report checkpoint-aware recovery
+	// (zero unless ChaosOptions.CheckpointDir is set).
+	StagesReplayed  int
+	CheckpointBytes int64
 	// Match reports whether every output matched the fault-free run
 	// bit-for-bit (tolerance zero).
 	Match bool
@@ -118,18 +183,42 @@ type ChaosResult struct {
 
 // RunChaos sweeps every registered workload across every fault plan on the
 // DMac engine, asserting nothing itself — the Match field carries the
-// verdict for tests and reports.
-func RunChaos() ([]ChaosResult, error) {
+// verdict for tests and reports. Every plan is validated before any engine
+// runs.
+func RunChaos(opts ChaosOptions) ([]ChaosResult, error) {
+	plans := ChaosPlans()
+	for _, cp := range plans {
+		if err := cp.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos plan %s: %w", cp.Name, err)
+		}
+	}
+	ctx := context.Background()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	var out []ChaosResult
 	for _, wl := range ChaosWorkloads() {
 		base := newEngine(engine.DMac, DefaultWorkers, chaosBlockSize)
+		base.SetBaseContext(ctx)
 		if _, err := wl.Run(base); err != nil {
 			return nil, fmt.Errorf("chaos %s baseline: %w", wl.Name, err)
 		}
-		for _, cp := range ChaosPlans() {
+		for _, cp := range plans {
+			if opts.CorruptOnly && !planCorrupts(cp.Plan) {
+				continue
+			}
 			cfg := clusterConfig(DefaultWorkers)
 			cfg.Faults = cp.Plan
 			e := engine.New(engine.DMac, cfg, chaosBlockSize)
+			e.SetBaseContext(ctx)
+			if opts.CheckpointDir != "" {
+				dir := filepath.Join(opts.CheckpointDir, wl.Name+"-"+cp.Name)
+				if err := e.SetCheckpoint(dir, engine.CheckpointPolicy{Interval: 1}); err != nil {
+					return nil, fmt.Errorf("chaos %s/%s: %w", wl.Name, cp.Name, err)
+				}
+			}
 			res, err := wl.Run(e)
 			if err != nil {
 				return nil, fmt.Errorf("chaos %s/%s: %w", wl.Name, cp.Name, err)
@@ -151,14 +240,18 @@ func RunChaos() ([]ChaosResult, error) {
 			}
 			total := res.Total()
 			out = append(out, ChaosResult{
-				Workload:      wl.Name,
-				Plan:          cp.Name,
-				Retries:       total.Retries,
-				RecoveryBytes: total.RecoveryBytes,
-				CommBytes:     total.CommBytes,
-				ModelSec:      total.ModelSeconds,
-				DeadWorkers:   len(e.Cluster().DeadWorkers()),
-				Match:         match,
+				Workload:            wl.Name,
+				Plan:                cp.Name,
+				Retries:             total.Retries,
+				RecoveryBytes:       total.RecoveryBytes,
+				CommBytes:           total.CommBytes,
+				ModelSec:            total.ModelSeconds,
+				DeadWorkers:         len(e.Cluster().DeadWorkers()),
+				CorruptionsInjected: total.CorruptionsInjected,
+				CorruptionsDetected: total.CorruptionsDetected,
+				StagesReplayed:      total.StagesReplayed,
+				CheckpointBytes:     total.CheckpointBytes,
+				Match:               match,
 			})
 		}
 	}
@@ -166,8 +259,8 @@ func RunChaos() ([]ChaosResult, error) {
 }
 
 // Chaos runs the sweep and renders it as a report table.
-func Chaos(w io.Writer) error {
-	results, err := RunChaos()
+func Chaos(w io.Writer, opts ChaosOptions) error {
+	results, err := RunChaos(opts)
 	if err != nil {
 		return err
 	}
@@ -183,9 +276,11 @@ func Chaos(w io.Writer) error {
 			fmt.Sprintf("%.3f", gb(r.CommBytes)),
 			fmt.Sprintf("%.3f", r.ModelSec),
 			fmt.Sprintf("%d", r.DeadWorkers),
+			fmt.Sprintf("%d/%d", r.CorruptionsDetected, r.CorruptionsInjected),
+			fmt.Sprintf("%d", r.StagesReplayed),
 			fmt.Sprintf("%v", r.Match),
 		})
 	}
-	writeTable(w, []string{"workload", "plan", "retries", "recovery B", "comm GB", "model s", "dead", "bit-identical"}, rows)
+	writeTable(w, []string{"workload", "plan", "retries", "recovery B", "comm GB", "model s", "dead", "corrupt det/inj", "replayed", "bit-identical"}, rows)
 	return nil
 }

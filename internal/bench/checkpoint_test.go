@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCheckpointSweepShapes asserts the qualitative trade-off the experiment
+// reports: denser checkpointing replays fewer stages at higher snapshot
+// cost, the lineage-only baseline writes nothing, and every configuration
+// recovers to bit-identical ranks.
+func TestCheckpointSweepShapes(t *testing.T) {
+	intervals := []int{0, 2, 1}
+	rows, killStage, err := CheckpointSweep(context.Background(), t.TempDir(), intervals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killStage < 2 {
+		t.Fatalf("kill stage %d, want >= 2", killStage)
+	}
+	if len(rows) != len(intervals) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(intervals))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("interval %d: ranks diverged from the fault-free run", r.Interval)
+		}
+		if r.Retries == 0 {
+			t.Errorf("interval %d: the scripted kill never fired", r.Interval)
+		}
+	}
+	off, every2, every1 := rows[0], rows[1], rows[2]
+	if off.CheckpointKB != 0 || off.StagesReplayed != 0 {
+		t.Errorf("lineage-only row wrote %v KB, replayed %d stages; want zero both",
+			off.CheckpointKB, off.StagesReplayed)
+	}
+	if every1.CheckpointKB <= every2.CheckpointKB {
+		t.Errorf("interval 1 wrote %v KB, not above interval 2's %v KB",
+			every1.CheckpointKB, every2.CheckpointKB)
+	}
+	if every1.StagesReplayed > every2.StagesReplayed {
+		t.Errorf("interval 1 replayed %d stages, more than interval 2's %d",
+			every1.StagesReplayed, every2.StagesReplayed)
+	}
+	if every1.StagesReplayed >= killStage-1 {
+		t.Errorf("interval 1 replayed %d stages, not below the full lineage %d",
+			every1.StagesReplayed, killStage-1)
+	}
+}

@@ -7,18 +7,20 @@ import (
 )
 
 // TestChaosSweepBitIdentical is the chaos harness's acceptance gate: every
-// registered workload, under every fault plan (two scripted, one seeded
-// random), must complete via stage retry and lineage recovery and produce
-// outputs bit-identical to the fault-free run — with the recovery work
-// visible in the metrics.
+// registered workload, under every fault plan (scripted kills, seeded random
+// kills, scripted and seeded block corruption, and the combined kill+corrupt
+// regime), must complete via stage retry, lineage recovery, and checksum
+// quarantine, and produce outputs bit-identical to the fault-free run — with
+// the recovery work visible in the metrics and every injected corruption
+// detected.
 func TestChaosSweepBitIdentical(t *testing.T) {
-	results, err := bench.RunChaos()
+	results, err := bench.RunChaos(bench.ChaosOptions{})
 	if err != nil {
 		t.Fatalf("chaos sweep: %v", err)
 	}
 	plans := len(bench.ChaosPlans())
-	if plans < 2 {
-		t.Fatalf("chaos sweep needs >= 2 fault plans, have %d", plans)
+	if plans < 4 {
+		t.Fatalf("chaos sweep needs >= 4 fault plans (kills and corruption), have %d", plans)
 	}
 	wantCells := len(bench.ChaosWorkloads()) * plans
 	if len(results) != wantCells {
@@ -26,6 +28,7 @@ func TestChaosSweepBitIdentical(t *testing.T) {
 	}
 	retriesPerWorkload := make(map[string]int)
 	recoveryPerWorkload := make(map[string]int64)
+	injectedPerPlan := make(map[string]int)
 	for _, r := range results {
 		if !r.Match {
 			t.Errorf("%s under plan %s diverged from the fault-free run", r.Workload, r.Plan)
@@ -33,8 +36,13 @@ func TestChaosSweepBitIdentical(t *testing.T) {
 		if r.Retries > 0 && r.DeadWorkers == 0 {
 			t.Errorf("%s/%s reports %d retries with no dead workers", r.Workload, r.Plan, r.Retries)
 		}
+		if r.CorruptionsInjected != r.CorruptionsDetected {
+			t.Errorf("%s/%s: %d corruptions injected but %d detected — integrity invariant broken",
+				r.Workload, r.Plan, r.CorruptionsInjected, r.CorruptionsDetected)
+		}
 		retriesPerWorkload[r.Workload] += r.Retries
 		recoveryPerWorkload[r.Workload] += r.RecoveryBytes
+		injectedPerPlan[r.Plan] += r.CorruptionsInjected
 	}
 	for wl, retries := range retriesPerWorkload {
 		if retries == 0 {
@@ -44,17 +52,23 @@ func TestChaosSweepBitIdentical(t *testing.T) {
 			t.Errorf("workload %s reported no recovery bytes under any fault plan", wl)
 		}
 	}
+	for _, plan := range []string{"corrupt", "kill+corrupt"} {
+		if injectedPerPlan[plan] == 0 {
+			t.Errorf("plan %s never injected a corruption in any workload", plan)
+		}
+	}
 }
 
 // TestChaosSweepDeterministic runs the sweep twice and requires identical
-// accounting: the same plans must kill the same workers and charge the same
-// recovery bytes — the reproducibility the seeded fault plans promise.
+// accounting: the same plans must kill the same workers, corrupt the same
+// blocks and charge the same recovery bytes — the reproducibility the seeded
+// fault plans promise.
 func TestChaosSweepDeterministic(t *testing.T) {
-	a, err := bench.RunChaos()
+	a, err := bench.RunChaos(bench.ChaosOptions{})
 	if err != nil {
 		t.Fatalf("first sweep: %v", err)
 	}
-	b, err := bench.RunChaos()
+	b, err := bench.RunChaos(bench.ChaosOptions{})
 	if err != nil {
 		t.Fatalf("second sweep: %v", err)
 	}
@@ -65,5 +79,40 @@ func TestChaosSweepDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Errorf("cell %d differs across sweeps:\n  %+v\n  %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestChaosSweepCorruptOnlyWithCheckpoints is the CI smoke configuration:
+// only corruption-bearing plans, every faulted engine checkpointing into a
+// hermetic temp dir. Results must stay bit-identical and every corruption
+// detected, with checkpoint-aware recovery visible where kills fired.
+func TestChaosSweepCorruptOnlyWithCheckpoints(t *testing.T) {
+	results, err := bench.RunChaos(bench.ChaosOptions{
+		CorruptOnly:   true,
+		CheckpointDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("corrupt-only sweep: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("corrupt-only sweep produced no cells")
+	}
+	var injected, ckptBytes int64
+	for _, r := range results {
+		if !r.Match {
+			t.Errorf("%s/%s diverged from the fault-free run", r.Workload, r.Plan)
+		}
+		if r.CorruptionsInjected != r.CorruptionsDetected {
+			t.Errorf("%s/%s: injected %d != detected %d",
+				r.Workload, r.Plan, r.CorruptionsInjected, r.CorruptionsDetected)
+		}
+		injected += int64(r.CorruptionsInjected)
+		ckptBytes += r.CheckpointBytes
+	}
+	if injected == 0 {
+		t.Error("corrupt-only sweep injected no corruption anywhere")
+	}
+	if ckptBytes == 0 {
+		t.Error("checkpointing enabled but no checkpoint bytes written")
 	}
 }

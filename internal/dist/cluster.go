@@ -138,16 +138,26 @@ type Cluster struct {
 	// pending is an armed task-kill fault waiting to surface from the next
 	// cluster operator of the current stage attempt.
 	pending *WorkerFailure
+	// corrupt holds the armed corruption faults of the current stage attempt,
+	// consumed (one per event) at the stage's block hand-offs.
+	corrupt []FaultEvent
+	// faultErr is the verdict of validating cfg.Faults at construction; a
+	// non-nil verdict fails the first BeginStage with a descriptive error.
+	faultErr error
 }
 
 // NewCluster creates a cluster from the configuration (zero fields take
-// defaults).
+// defaults). An invalid fault plan does not fail construction — the verdict
+// is recorded and surfaces from the first BeginStage, so plan mistakes abort
+// the run with FaultPlan.Validate's error instead of silently injecting
+// nothing.
 func NewCluster(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	return &Cluster{
-		cfg:  cfg,
-		exec: sched.NewExecutor(cfg.Workers*cfg.LocalParallelism, nil),
-		net:  &NetStats{},
+		cfg:      cfg,
+		exec:     sched.NewExecutor(cfg.Workers*cfg.LocalParallelism, nil),
+		net:      &NetStats{},
+		faultErr: cfg.Faults.Validate(),
 	}
 }
 
@@ -236,6 +246,8 @@ type NetStats struct {
 	recoveryBytes int64
 	retries       int
 	stallSec      float64
+	corruptInj    int
+	corruptDet    int
 }
 
 // Snapshot is a point-in-time copy of the statistics.
@@ -266,6 +278,13 @@ type Snapshot struct {
 	// StallSec is modelled stalled time: injected delays plus retry
 	// backoff.
 	StallSec float64
+	// CorruptionsInjected counts block corruptions the fault injector
+	// actually fired (armed events whose stage moved at least one block);
+	// CorruptionsDetected counts those caught by checksum verification at
+	// block hand-off. Equality is the integrity invariant the chaos harness
+	// asserts: every corruption that happens is detected.
+	CorruptionsInjected int
+	CorruptionsDetected int
 }
 
 // addCommLocked is the shared body of the communication recorders.
@@ -334,6 +353,17 @@ func (n *NetStats) AddRecovery(stage int, bytes int64) {
 	n.recoveryBytes += bytes
 }
 
+// AddCorruption records one injected block corruption and whether the
+// checksum verification at hand-off caught it.
+func (n *NetStats) AddCorruption(detected bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.corruptInj++
+	if detected {
+		n.corruptDet++
+	}
+}
+
 // AddRetry records one repeated stage attempt.
 func (n *NetStats) AddRetry() {
 	n.mu.Lock()
@@ -366,17 +396,19 @@ func (n *NetStats) Snapshot() Snapshot {
 		sf[k] = v
 	}
 	return Snapshot{
-		Bytes:         n.bytes,
-		CommEvents:    n.commEvents,
-		Broadcasts:    n.broadcasts,
-		Shuffles:      n.shuffles,
-		FLOPs:         n.flops,
-		StageBytes:    sb,
-		StageEvents:   se,
-		StageFLOPs:    sf,
-		RecoveryBytes: n.recoveryBytes,
-		Retries:       n.retries,
-		StallSec:      n.stallSec,
+		Bytes:               n.bytes,
+		CommEvents:          n.commEvents,
+		Broadcasts:          n.broadcasts,
+		Shuffles:            n.shuffles,
+		FLOPs:               n.flops,
+		StageBytes:          sb,
+		StageEvents:         se,
+		StageFLOPs:          sf,
+		RecoveryBytes:       n.recoveryBytes,
+		Retries:             n.retries,
+		StallSec:            n.stallSec,
+		CorruptionsInjected: n.corruptInj,
+		CorruptionsDetected: n.corruptDet,
 	}
 }
 
@@ -387,6 +419,7 @@ func (n *NetStats) Reset() {
 	n.bytes, n.commEvents, n.flops, n.stageBytes = 0, 0, 0, nil
 	n.broadcasts, n.shuffles, n.stageEvents, n.stageFLOPs = 0, 0, nil, nil
 	n.recoveryBytes, n.retries, n.stallSec = 0, 0, 0
+	n.corruptInj, n.corruptDet = 0, 0
 }
 
 // String summarizes the statistics.

@@ -102,6 +102,7 @@ func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep
 			obs.String("strategy", "CPMM"), obs.String("to_scheme", outScheme.String()),
 			obs.Int64("workers", workers))
 		out.Scheme = outScheme
+		c.verifyTransfer(out, stage, "cpmm-shuffle")
 	}
 	return out, nil
 }

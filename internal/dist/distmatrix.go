@@ -32,6 +32,14 @@ func NewDistMatrix(g *matrix.Grid, scheme dep.Scheme) *DistMatrix {
 	return &DistMatrix{Grid: g, Scheme: scheme}
 }
 
+// NewDistMatrixView wraps a grid like NewDistMatrix but additionally marks it
+// a lazy transpose view. Checkpoint restore uses it to reconstruct a value
+// exactly as it was snapshotted: the grid holds the stored orientation, trans
+// records the pending logical transpose.
+func NewDistMatrixView(g *matrix.Grid, scheme dep.Scheme, trans bool) *DistMatrix {
+	return &DistMatrix{Grid: g, Scheme: scheme, trans: trans}
+}
+
 // Rows returns the logical row count.
 func (m *DistMatrix) Rows() int {
 	if m.trans {
@@ -81,6 +89,16 @@ func (m *DistMatrix) blockCols() int {
 		return m.Grid.BlockRows()
 	}
 	return m.Grid.BlockCols()
+}
+
+// storedBlock returns the block at logical coordinates (bi, bj) in its
+// stored orientation — what actually travels on the wire for a transpose
+// view, whose receiver applies the orientation itself.
+func (m *DistMatrix) storedBlock(bi, bj int) matrix.Block {
+	if m.trans {
+		return m.Grid.Block(bj, bi)
+	}
+	return m.Grid.Block(bi, bj)
 }
 
 // blockBytes returns the footprint of the block at logical coordinates
@@ -189,6 +207,7 @@ func (c *Cluster) Partition(m *DistMatrix, scheme dep.Scheme, stage int) (*DistM
 	c.net.AddComm(stage, m.Bytes())
 	c.traceComm(stage, "partition", m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()), obs.String("to_scheme", scheme.String()))
+	c.verifyTransfer(m, stage, "partition")
 	return &DistMatrix{Grid: m.Grid, Scheme: scheme, trans: m.trans}, nil
 }
 
@@ -199,6 +218,7 @@ func (c *Cluster) Broadcast(m *DistMatrix, stage int) *DistMatrix {
 	c.net.AddBroadcast(stage, replicas*m.Bytes())
 	c.traceComm(stage, "broadcast", replicas*m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()), obs.Int64("replicas", replicas))
+	c.verifyTransfer(m, stage, "broadcast")
 	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast, trans: m.trans}
 }
 
@@ -235,6 +255,7 @@ func (c *Cluster) ShuffleTranspose(m *DistMatrix, stage int) *DistMatrix {
 	c.net.AddComm(stage, m.Bytes())
 	c.traceComm(stage, "shuffle-transpose", m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()))
+	c.verifyTransfer(m, stage, "shuffle-transpose")
 	c.addFLOPs(stage, float64(m.Grid.NNZ()))
 	if m.trans {
 		// The stored grid already is the transpose of the view; the shuffle

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"dmac/internal/mio"
 	"dmac/internal/obs"
 )
 
@@ -12,7 +13,10 @@ import (
 // loss: the stage attempt they hit fails, the worker leaves the cluster for
 // good, and the engine recovers the lost blocks from lineage before
 // retrying. Delays model transient stalls (GC pauses, slow disks) that cost
-// time but no data.
+// time but no data. Corruptions model silent data damage in transit or at
+// rest: a byte of one block flips between sender and receiver, and the
+// checksum verification at block hand-off must detect it, quarantine the
+// damaged copy, and re-fetch the block from its source.
 type FaultKind int
 
 // The injectable fault kinds.
@@ -26,6 +30,11 @@ const (
 	FaultKillTask
 	// FaultDelay stalls the stage by DelaySec without losing data.
 	FaultDelay
+	// FaultCorrupt flips a byte of one block sent by the event's worker at
+	// the stage's next block hand-off. The corruption is detected by the
+	// CRC32C check at the receiver, counted in NetStats, and healed by
+	// re-fetching the block — results stay bit-identical.
+	FaultCorrupt
 )
 
 // String names the fault kind.
@@ -37,6 +46,8 @@ func (k FaultKind) String() string {
 		return "kill-task"
 	case FaultDelay:
 		return "delay"
+	case FaultCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -80,11 +91,46 @@ type FaultPlan struct {
 	// TaskFaults makes random kills fire mid-stage (FaultKillTask) instead
 	// of at the stage boundary.
 	TaskFaults bool
+	// CorruptRate is the probability a given (stage, worker) pair corrupts a
+	// block it sends at that stage's first hand-off (decided by a hash of
+	// (Seed, stage, worker), independent of Rate's kill decisions). 0
+	// disables random corruption.
+	CorruptRate float64
 }
 
 // Empty reports whether the plan injects nothing.
 func (p FaultPlan) Empty() bool {
-	return len(p.Events) == 0 && p.Rate <= 0
+	return len(p.Events) == 0 && p.Rate <= 0 && p.CorruptRate <= 0
+}
+
+// Validate rejects plans that would behave silently oddly: probabilities
+// outside [0, 1], negative delays, and events naming negative stages,
+// workers or attempts. Cluster setup records the verdict and the first
+// BeginStage surfaces it, so a malformed plan fails a run with a descriptive
+// error instead of injecting nothing (or hashing garbage).
+func (p FaultPlan) Validate() error {
+	if p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("dist: fault plan Rate %v outside [0,1]", p.Rate)
+	}
+	if p.CorruptRate < 0 || p.CorruptRate > 1 {
+		return fmt.Errorf("dist: fault plan CorruptRate %v outside [0,1]", p.CorruptRate)
+	}
+	for i, ev := range p.Events {
+		switch {
+		case ev.Stage < 0:
+			return fmt.Errorf("dist: fault event %d has negative Stage %d", i, ev.Stage)
+		case ev.Worker < 0:
+			return fmt.Errorf("dist: fault event %d has negative Worker %d", i, ev.Worker)
+		case ev.Attempt < 0:
+			return fmt.Errorf("dist: fault event %d has negative Attempt %d", i, ev.Attempt)
+		case ev.DelaySec < 0:
+			return fmt.Errorf("dist: fault event %d has negative DelaySec %v", i, ev.DelaySec)
+		case ev.Kind != FaultKillBoundary && ev.Kind != FaultKillTask &&
+			ev.Kind != FaultDelay && ev.Kind != FaultCorrupt:
+			return fmt.Errorf("dist: fault event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
 }
 
 // RandomFaultPlan returns a purely seeded plan that kills each (stage,
@@ -129,8 +175,23 @@ func (p FaultPlan) eventsAt(stage, attempt, workers int) []FaultEvent {
 			}
 		}
 	}
+	if p.CorruptRate > 0 && attempt == 0 {
+		// Corruption decisions are salted so they are independent of the kill
+		// decisions at the same (stage, worker); they fire on the first
+		// attempt only — retried attempts re-shuffle clean data, as a real
+		// transient bit-flip would.
+		for w := 0; w < workers; w++ {
+			if hashUnit(p.Seed^corruptSalt, stage, w) < p.CorruptRate {
+				out = append(out, FaultEvent{Stage: stage, Worker: w, Attempt: attempt, Kind: FaultCorrupt})
+			}
+		}
+	}
 	return out
 }
+
+// corruptSalt decorrelates random corruption from random kills under the
+// same seed.
+const corruptSalt int64 = 0x5bd1e995
 
 // WorkerFailure is the error a stage attempt fails with when an injected (or,
 // in a real deployment, observed) fault kills a worker. The engine's execute
@@ -157,13 +218,21 @@ func (f *WorkerFailure) Error() string {
 // the faults the configured plan scripts for it. Delay faults are charged
 // immediately as stalled time; a boundary kill is returned as a
 // *WorkerFailure; a task kill is armed and surfaces from one of the stage's
-// operators (or at the stage's end if no operator consumed it). Faults
-// naming dead workers, or whose victim is the last survivor, are ignored.
+// operators (or at the stage's end if no operator consumed it); a corruption
+// is armed and fires at the stage's next block hand-off (unconsumed
+// corruptions are disarmed at the next BeginStage — a stage that moves no
+// blocks gives a bit-flip nothing to damage). An invalid fault plan
+// (FaultPlan.Validate) fails here with its descriptive error. Faults naming
+// dead workers, or whose kill victim is the last survivor, are ignored.
 func (c *Cluster) BeginStage(stage, attempt int) error {
+	if c.faultErr != nil {
+		return c.faultErr
+	}
 	c.curStage.Store(int64(stage))
 	c.faultMu.Lock()
 	defer c.faultMu.Unlock()
 	c.pending = nil
+	c.corrupt = nil
 	var boundary *WorkerFailure
 	for _, ev := range c.cfg.Faults.eventsAt(stage, attempt, c.cfg.Workers) {
 		if ev.Worker < 0 || ev.Worker >= c.cfg.Workers || c.dead[ev.Worker] {
@@ -180,6 +249,8 @@ func (c *Cluster) BeginStage(stage, attempt int) error {
 			if c.pending == nil && c.aliveLocked() > 1 {
 				c.pending = &WorkerFailure{Worker: ev.Worker, Stage: stage, Attempt: attempt, Kind: ev.Kind}
 			}
+		case FaultCorrupt:
+			c.corrupt = append(c.corrupt, ev)
 		}
 	}
 	if boundary != nil {
@@ -207,6 +278,69 @@ func (c *Cluster) opFault() error {
 		return f
 	}
 	return nil
+}
+
+// takeCorrupt consumes the corruption faults armed for the current stage
+// attempt.
+func (c *Cluster) takeCorrupt() []FaultEvent {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	evs := c.corrupt
+	c.corrupt = nil
+	return evs
+}
+
+// victimBlock picks the block a corruption event damages: the first block
+// (row-major over logical coordinates) placed on the event's worker, falling
+// back to (0, 0) when the worker owns none (a broadcast replica, say).
+func (c *Cluster) victimBlock(m *DistMatrix, worker int) (int, int) {
+	for bi := 0; bi < m.blockRows(); bi++ {
+		for bj := 0; bj < m.blockCols(); bj++ {
+			if c.Owner(m, bi, bj) == worker {
+				return bi, bj
+			}
+		}
+	}
+	return 0, 0
+}
+
+// verifyTransfer is the receiver-side integrity check of one block hand-off:
+// every communication primitive calls it after charging its transfer, and any
+// corruption fault armed for the stage fires here. The fault flips a byte in
+// the in-transit encoding of one block sent by the event's worker — a copy;
+// the sender's stored block stays pristine — and the receiver compares the
+// copy's CRC32C against the sender's checksum. A mismatch quarantines the
+// damaged copy (it is simply never installed) and re-fetches the block from
+// its source, charging the repeat transfer to the network; results therefore
+// stay bit-identical to a fault-free run while every corruption is detected
+// and accounted (NetStats CorruptionsInjected/CorruptionsDetected).
+func (c *Cluster) verifyTransfer(m *DistMatrix, stage int, op string) {
+	for _, ev := range c.takeCorrupt() {
+		bi, bj := c.victimBlock(m, ev.Worker)
+		blk := m.storedBlock(bi, bj)
+		enc := mio.EncodeBlock(blk)
+		want := mio.BlockChecksum(blk)
+		enc[len(enc)/2] ^= 0x04
+		detected := mio.ChecksumBytes(enc) != want
+		c.net.AddCorruption(detected)
+		if mtr := c.metrics.Load(); mtr != nil {
+			mtr.Counter("fault.corrupt.injected").Inc()
+			if detected {
+				mtr.Counter("fault.corrupt.detected").Inc()
+			}
+		}
+		if !detected {
+			// CRC32C detects every burst error shorter than 32 bits, so a
+			// single flipped byte cannot get here; the branch guards future
+			// multi-block damage models.
+			continue
+		}
+		refetch := m.blockBytes(bi, bj)
+		c.net.AddComm(stage, refetch)
+		c.traceComm(stage, "corrupt-refetch", refetch,
+			obs.String("op", op), obs.Int64("worker", int64(ev.Worker)),
+			obs.Int64("block_row", int64(bi)), obs.Int64("block_col", int64(bj)))
+	}
 }
 
 // ChargeRecovery records a lineage-recovery shuffle after the given worker

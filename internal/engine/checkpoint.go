@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dmac/internal/dep"
+	"dmac/internal/dist"
+	"dmac/internal/mio"
+	"dmac/internal/obs"
+)
+
+// CheckpointPolicy decides when the engine snapshots the live values of a run
+// to disk. Both triggers may be combined; a policy with neither never writes
+// (but SetCheckpoint still enables checkpoint-aware recovery, which then
+// degrades to full lineage replay).
+type CheckpointPolicy struct {
+	// Interval checkpoints after every Interval-th completed stage. 0
+	// disables the fixed-interval trigger.
+	Interval int
+	// CostModel checkpoints after a stage once the modelled cost of
+	// recomputing the stages since the last checkpoint (their attributed
+	// FLOPs and communication, priced by the cluster's cost model) exceeds
+	// the modelled cost of writing the snapshot. This is the dependency-cost
+	// analogue of the classic checkpoint-interval rule: pay the write when a
+	// failure would cost more than the write does.
+	CostModel bool
+	// WriteBytesPerSec is the modelled checkpoint write bandwidth the cost
+	// model prices the snapshot against. Defaults to 200 MB/s.
+	WriteBytesPerSec float64
+}
+
+// Enabled reports whether the policy ever triggers a write.
+func (p CheckpointPolicy) Enabled() bool { return p.Interval > 0 || p.CostModel }
+
+func (p CheckpointPolicy) withDefaults() CheckpointPolicy {
+	if p.WriteBytesPerSec <= 0 {
+		p.WriteBytesPerSec = 200e6
+	}
+	return p
+}
+
+// Validate rejects policies that would behave silently oddly.
+func (p CheckpointPolicy) Validate() error {
+	if p.Interval < 0 {
+		return fmt.Errorf("engine: checkpoint Interval %d is negative", p.Interval)
+	}
+	if p.WriteBytesPerSec < 0 {
+		return fmt.Errorf("engine: checkpoint WriteBytesPerSec %v is negative", p.WriteBytesPerSec)
+	}
+	return nil
+}
+
+// manifestVersion versions the checkpoint manifest schema.
+const manifestVersion = 1
+
+// ckptManifest is the manifest of one checkpoint: which values (and driver
+// scalars) the snapshot holds, identified by plan value ID, and the stage the
+// snapshot was taken after. It is written last, atomically (temp file +
+// rename), so a crash mid-checkpoint leaves a directory without a readable
+// manifest — invalid by construction, skipped by the recovery ladder.
+type ckptManifest struct {
+	Version int                `json:"version"`
+	Seq     int                `json:"seq"`
+	Stage   int                `json:"stage"`
+	PlanSig string             `json:"plan_sig"`
+	Values  []ckptValue        `json:"values"`
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+}
+
+// ckptValue locates one snapshotted plan value inside the checkpoint
+// directory. The grid file carries its own per-block CRC32C (mio version 2);
+// Scheme and Trans restore the value's placement and lazy-transpose state.
+type ckptValue struct {
+	ID     int    `json:"id"`
+	File   string `json:"file"`
+	Scheme int    `json:"scheme"`
+	Trans  bool   `json:"trans,omitempty"`
+}
+
+// writtenCkpt is the in-memory record of a checkpoint written by the current
+// run — the candidates of the recovery ladder. Validity is never assumed:
+// restore re-reads and re-verifies everything from disk.
+type writtenCkpt struct {
+	seq   int
+	stage int
+	dir   string
+}
+
+// checkpointer owns the checkpoint directory of an engine: the write policy,
+// the sequence counter (monotone across runs, so directories never collide),
+// and the per-run state the recovery ladder and the run metrics read.
+type checkpointer struct {
+	dir    string
+	policy CheckpointPolicy
+	seq    int
+
+	// Per-run state, reset by beginRun.
+	written     []writtenCkpt
+	sinceLast   int
+	pendingCost float64
+	bytes       int64
+	seconds     float64
+	replayed    int
+
+	// testPreRestore, when set (tests only), runs right before the recovery
+	// ladder scans the checkpoints — the seam the crash-mid-checkpoint tests
+	// use to damage on-disk state between write and restore.
+	testPreRestore func()
+}
+
+// beginRun resets the per-run state. Earlier runs' checkpoints stay on disk
+// but are no longer restore candidates: they describe a different plan's
+// values.
+func (c *checkpointer) beginRun() {
+	if c == nil {
+		return
+	}
+	c.written = c.written[:0]
+	c.sinceLast, c.pendingCost = 0, 0
+	c.bytes, c.seconds, c.replayed = 0, 0, 0
+}
+
+// noteStage records one completed stage and its modelled cost — what a
+// failure right now would have to recompute.
+func (c *checkpointer) noteStage(modelCost float64) {
+	c.sinceLast++
+	c.pendingCost += modelCost
+}
+
+// shouldCheckpoint applies the policy given the estimated snapshot size.
+func (c *checkpointer) shouldCheckpoint(estBytes int64) bool {
+	if c.policy.Interval > 0 && c.sinceLast >= c.policy.Interval {
+		return true
+	}
+	if c.policy.CostModel {
+		if c.pendingCost > float64(estBytes)/c.policy.WriteBytesPerSec {
+			return true
+		}
+	}
+	return false
+}
+
+// SetCheckpoint attaches a checkpoint directory and policy to the engine.
+// Subsequent runs snapshot their live values after stages the policy selects,
+// and the stage retry loop restores from the newest valid checkpoint instead
+// of replaying the whole lineage. An empty dir detaches checkpointing and
+// restores the engine's default recovery behaviour.
+func (e *Engine) SetCheckpoint(dir string, policy CheckpointPolicy) error {
+	if dir == "" {
+		e.ckpt = nil
+		return nil
+	}
+	if err := policy.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: checkpoint dir: %w", err)
+	}
+	e.ckpt = &checkpointer{dir: dir, policy: policy.withDefaults()}
+	return nil
+}
+
+// estimateLiveBytes prices the snapshot the checkpointer is deciding about:
+// the footprint of every currently materialized value.
+func estimateLiveBytes(vals []*dist.DistMatrix) int64 {
+	var total int64
+	for _, dm := range vals {
+		if dm != nil {
+			total += dm.Bytes()
+		}
+	}
+	return total
+}
+
+// writeCheckpoint snapshots every materialized value (and the driver scalars)
+// to a fresh checkpoint directory. Block files use the checksummed grid
+// format; the manifest is written last via an atomic rename, so the
+// checkpoint becomes visible only complete. A write failure is not a run
+// failure — the half-written directory simply never gets a manifest and the
+// run continues with one fewer restore candidate (traced and counted).
+func (e *Engine) writeCheckpoint(st *execState, stage int) {
+	c := e.ckpt
+	span := e.tracer.Start("ckpt", "write", e.tracer.Scope(),
+		obs.Int64("stage", int64(stage)), obs.Int64("seq", int64(c.seq)))
+	start := time.Now()
+	n, err := e.writeCheckpointFiles(st, stage)
+	sec := time.Since(start).Seconds()
+	if err != nil {
+		e.tracer.End(span, obs.String("error", err.Error()))
+		e.metrics.Counter("ckpt.write.failures").Inc()
+		return
+	}
+	e.tracer.End(span, obs.Int64("bytes", n), obs.Float64("seconds", sec))
+	e.metrics.Counter("ckpt.write.count").Inc()
+	e.metrics.Counter("ckpt.write.bytes").Add(n)
+	c.bytes += n
+	c.seconds += sec
+	c.sinceLast, c.pendingCost = 0, 0
+}
+
+// countingWriter counts the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (e *Engine) writeCheckpointFiles(st *execState, stage int) (int64, error) {
+	c := e.ckpt
+	dir := filepath.Join(c.dir, fmt.Sprintf("ckpt-%06d-stage%d", c.seq, stage))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	man := ckptManifest{
+		Version: manifestVersion,
+		Seq:     c.seq,
+		Stage:   stage,
+		PlanSig: st.sig,
+		Scalars: make(map[string]float64, len(e.scalars)),
+	}
+	for k, v := range e.scalars {
+		man.Scalars[k] = v
+	}
+	var total int64
+	for id, dm := range st.vals {
+		if dm == nil {
+			continue
+		}
+		name := fmt.Sprintf("v%04d.dmgr", id)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return total, err
+		}
+		cw := &countingWriter{w: f}
+		err = mio.WriteGridChecked(cw, dm.Grid)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return total, err
+		}
+		total += cw.n
+		man.Values = append(man.Values, ckptValue{
+			ID: id, File: name, Scheme: int(dm.Scheme), Trans: dm.Trans(),
+		})
+	}
+	blob, err := json.Marshal(&man)
+	if err != nil {
+		return total, err
+	}
+	tmp := filepath.Join(dir, "manifest.json.tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return total, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "manifest.json")); err != nil {
+		return total, err
+	}
+	total += int64(len(blob))
+	c.written = append(c.written, writtenCkpt{seq: c.seq, stage: stage, dir: dir})
+	c.seq++
+	return total, nil
+}
+
+// loadCheckpoint validates one restore candidate from disk: the manifest must
+// parse, match the running plan, and every value file must read back through
+// the checksummed decoder (a truncated file, a flipped bit, or a deleted
+// directory all fail here). On success it returns the reconstructed values.
+func (e *Engine) loadCheckpoint(w writtenCkpt, sig string) (*ckptManifest, map[int]*dist.DistMatrix, error) {
+	blob, err := os.ReadFile(filepath.Join(w.dir, "manifest.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("manifest: %w", err)
+	}
+	var man ckptManifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return nil, nil, fmt.Errorf("manifest: %w", err)
+	}
+	if man.Version != manifestVersion {
+		return nil, nil, fmt.Errorf("manifest version %d, want %d", man.Version, manifestVersion)
+	}
+	if man.PlanSig != sig || man.Stage != w.stage {
+		return nil, nil, fmt.Errorf("manifest describes a different run (stage %d, sig %q)", man.Stage, man.PlanSig)
+	}
+	restored := make(map[int]*dist.DistMatrix, len(man.Values))
+	for _, v := range man.Values {
+		f, err := os.Open(filepath.Join(w.dir, v.File))
+		if err != nil {
+			return nil, nil, fmt.Errorf("value %d: %w", v.ID, err)
+		}
+		g, err := mio.ReadGrid(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("value %d: %w", v.ID, err)
+		}
+		restored[v.ID] = dist.NewDistMatrixView(g, dep.Scheme(v.Scheme), v.Trans)
+	}
+	return &man, restored, nil
+}
+
+// restoreAndReplay is the recovery ladder of a checkpoint-enabled run. After
+// a worker failure in failStage, it walks this run's checkpoints newest
+// first, skipping any whose manifest or block files fail verification, and
+// installs the first valid snapshot; then it replays the stages between the
+// snapshot and the failed stage (no fault injection: replayed ops re-run
+// deterministically, their communication and arithmetic charged as
+// recomputation cost). With no valid checkpoint it replays the full lineage —
+// every stage before the failure. It returns how many stages were replayed.
+func (e *Engine) restoreAndReplay(st *execState, failStage int) (int, error) {
+	c := e.ckpt
+	if c.testPreRestore != nil {
+		c.testPreRestore()
+	}
+	from := -1
+	for i := len(c.written) - 1; i >= 0; i-- {
+		w := c.written[i]
+		if w.stage >= failStage {
+			continue
+		}
+		vspan := e.tracer.Start("ckpt", "verify", e.tracer.Scope(),
+			obs.Int64("stage", int64(w.stage)), obs.Int64("seq", int64(w.seq)))
+		man, restored, err := e.loadCheckpoint(w, st.sig)
+		e.metrics.Counter("ckpt.verify.count").Inc()
+		if err != nil {
+			e.tracer.End(vspan, obs.String("error", err.Error()))
+			e.metrics.Counter("ckpt.verify.failures").Inc()
+			continue
+		}
+		e.tracer.End(vspan)
+		for id, dm := range restored {
+			st.vals[id] = dm
+		}
+		for k, v := range man.Scalars {
+			e.scalars[k] = v
+		}
+		from = w.stage
+		break
+	}
+	span := e.tracer.Start("ckpt", "restore", e.tracer.Scope(),
+		obs.Int64("fail_stage", int64(failStage)), obs.Int64("from_stage", int64(from)))
+	replayed := 0
+	for _, s := range st.stages {
+		if s <= from || s >= failStage {
+			continue
+		}
+		if err := e.runOps(st.plan, s, st.byStage[s], st.vals, st.params); err != nil {
+			e.tracer.End(span, obs.String("error", err.Error()))
+			return replayed, fmt.Errorf("engine: replaying stage %d after restore: %w", s, err)
+		}
+		replayed++
+	}
+	e.tracer.End(span, obs.Int64("stages_replayed", int64(replayed)))
+	e.metrics.Counter("ckpt.restore.count").Inc()
+	e.metrics.Counter("ckpt.replay.stages").Add(int64(replayed))
+	c.replayed += replayed
+	return replayed, nil
+}

@@ -13,7 +13,8 @@ import (
 )
 
 // differentialPlans are the fault regimes each random program runs under:
-// fault-free, scripted kills, and seeded random kills.
+// fault-free, scripted kills, seeded random kills, scripted block
+// corruption, and kills racing seeded corruption.
 func differentialPlans() map[string]dist.FaultPlan {
 	return map[string]dist.FaultPlan{
 		"no-faults": {},
@@ -22,6 +23,20 @@ func differentialPlans() map[string]dist.FaultPlan {
 			{Stage: 2, Worker: 0, Attempt: 0, Kind: dist.FaultKillTask},
 		}},
 		"random": dist.RandomFaultPlan(99, 0.2),
+		// Stage 1 of a generated plan holds only leaves and local transposes;
+		// the first block hand-offs — where corruption can fire — are in
+		// stage 2.
+		"corrupt": {Events: []dist.FaultEvent{
+			{Stage: 2, Worker: 2, Attempt: 0, Kind: dist.FaultCorrupt},
+		}},
+		"kill+corrupt": {
+			Seed:        31,
+			CorruptRate: 0.25,
+			Events: []dist.FaultEvent{
+				{Stage: 2, Worker: 3, Attempt: 0, Kind: dist.FaultCorrupt},
+				{Stage: 1, Worker: 1, Attempt: 0, Kind: dist.FaultKillBoundary},
+			},
+		},
 	}
 }
 
@@ -54,6 +69,7 @@ func denseLeafData(rng *rand.Rand, p *expr.Program, bs int) map[string]*matrix.G
 // its own fault-free run.
 func TestDifferentialEnginesUnderChaos(t *testing.T) {
 	const bs = 4
+	injectedByPlan := make(map[string]int)
 	for seed := int64(0); seed < 40; seed++ {
 		rng := rand.New(rand.NewSource(seed + 9000))
 		prog, _ := core.RandomProgram(rng)
@@ -72,6 +88,7 @@ func TestDifferentialEnginesUnderChaos(t *testing.T) {
 		type result struct {
 			grids   map[string]*matrix.Grid
 			scalars map[string]float64
+			total   Metrics
 		}
 		runOne := func(planner Planner, faults dist.FaultPlan) result {
 			cfg := dist.Config{Workers: 4, LocalParallelism: 2, Faults: faults}
@@ -81,12 +98,15 @@ func TestDifferentialEnginesUnderChaos(t *testing.T) {
 					t.Fatalf("seed %d %s: %v", seed, planner, err)
 				}
 			}
+			var total Metrics
 			for iter := 0; iter < 2; iter++ {
-				if _, err := e.Run(prog, nil); err != nil {
+				m, err := e.Run(prog, nil)
+				if err != nil {
 					t.Fatalf("seed %d %s iter %d: %v", seed, planner, iter, err)
 				}
+				total.Add(m)
 			}
-			res := result{grids: map[string]*matrix.Grid{}, scalars: map[string]float64{}}
+			res := result{grids: map[string]*matrix.Grid{}, scalars: map[string]float64{}, total: total}
 			for _, name := range outs {
 				g, ok := e.Grid(name)
 				if !ok {
@@ -119,7 +139,24 @@ func TestDifferentialEnginesUnderChaos(t *testing.T) {
 						t.Errorf("%s: scalar %s = %v, local %v", label, name, got.scalars[name], v)
 					}
 				}
+				if got.total.CorruptionsInjected != got.total.CorruptionsDetected {
+					t.Errorf("%s: %d corruptions injected but %d detected",
+						label, got.total.CorruptionsInjected, got.total.CorruptionsDetected)
+				}
+				injectedByPlan[planName] += got.total.CorruptionsInjected
 			}
+		}
+	}
+	// The corruption regimes must actually fire somewhere across the seeds —
+	// otherwise the invariant above is vacuous.
+	for _, plan := range []string{"corrupt", "kill+corrupt"} {
+		if injectedByPlan[plan] == 0 {
+			t.Errorf("plan %s never injected a corruption across all seeds", plan)
+		}
+	}
+	for _, plan := range []string{"no-faults", "scripted", "random"} {
+		if injectedByPlan[plan] != 0 {
+			t.Errorf("plan %s injected %d corruptions; want none", plan, injectedByPlan[plan])
 		}
 	}
 }

@@ -16,6 +16,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -79,6 +80,22 @@ type Metrics struct {
 	// RecoveryBytes is the share of CommBytes spent re-partitioning dead
 	// workers' blocks across survivors after failures.
 	RecoveryBytes int64
+	// CheckpointBytes and CheckpointSeconds are the durability cost of the
+	// run: bytes written to checkpoint snapshots and the measured wall time
+	// spent writing them (zero without SetCheckpoint).
+	CheckpointBytes   int64
+	CheckpointSeconds float64
+	// StagesReplayed counts stages re-executed during checkpoint-aware
+	// recovery: after a worker failure the run restores the newest valid
+	// snapshot and replays only the stages after it, so this is the
+	// recomputation a checkpoint saved — or, with no valid checkpoint, the
+	// full lineage it had to re-pay.
+	StagesReplayed int
+	// CorruptionsInjected and CorruptionsDetected count block corruptions
+	// fired by the fault injector and those caught by checksum verification
+	// at block hand-off; equal counts are the run's integrity invariant.
+	CorruptionsInjected int
+	CorruptionsDetected int
 	// Broadcasts and Shuffles split CommEvents by kind, so strategy choices
 	// (replicate vs repartition) are countable per run.
 	Broadcasts int
@@ -123,6 +140,11 @@ func (m *Metrics) Add(other Metrics) {
 	m.RecoveryBytes += other.RecoveryBytes
 	m.Broadcasts += other.Broadcasts
 	m.Shuffles += other.Shuffles
+	m.CheckpointBytes += other.CheckpointBytes
+	m.CheckpointSeconds += other.CheckpointSeconds
+	m.StagesReplayed += other.StagesReplayed
+	m.CorruptionsInjected += other.CorruptionsInjected
+	m.CorruptionsDetected += other.CorruptionsDetected
 	if other.Stages > m.Stages {
 		m.Stages = other.Stages
 	}
@@ -183,6 +205,14 @@ type Engine struct {
 	// valid nil (no-op) receivers.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	// ckpt is the engine's checkpoint manager (nil without SetCheckpoint):
+	// runs snapshot live values to disk under its policy and recover from the
+	// newest valid snapshot instead of replaying the whole lineage.
+	ckpt *checkpointer
+	// baseCtx, when set, is the context Run uses in place of Background —
+	// how process-level deadlines reach sessions driven through
+	// context-oblivious call sites (the bundled applications).
+	baseCtx context.Context
 }
 
 type planCacheEntry struct {
@@ -365,6 +395,27 @@ func (e *Engine) planConfig() core.Config {
 // program's assignments update the session variables and its scalar outputs
 // update the session scalars.
 func (e *Engine) Run(p *expr.Program, params map[string]float64) (Metrics, error) {
+	return e.RunCtx(e.baseCtx, p, params)
+}
+
+// SetBaseContext sets the context Run uses when the caller passes none
+// (RunCtx with an explicit context is unaffected). It lets a deadline or
+// cancellation reach every run of a session that is driven through
+// context-oblivious call sites, such as the bundled applications. A nil
+// context restores Background.
+func (e *Engine) SetBaseContext(ctx context.Context) { e.baseCtx = ctx }
+
+// RunCtx is Run under a context: cancellation or an expired deadline aborts
+// the execution cleanly — between stages at the engine level, and between
+// block tasks inside a stage (the executor's workers observe the same
+// context) — returning the context's error. A nil context means Background.
+func (e *Engine) RunCtx(ctx context.Context, p *expr.Program, params map[string]float64) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	exec := e.cluster.Executor()
+	exec.SetContext(ctx)
+	defer exec.SetContext(nil)
 	if e.planner == Local {
 		return e.runLocal(p, params)
 	}
@@ -408,7 +459,7 @@ func (e *Engine) Run(p *expr.Program, params map[string]float64) (Metrics, error
 		obs.String("plan_cache", map[bool]string{true: "hit", false: "miss"}[cached]))
 	prevScope := e.tracer.SetScope(runSpan)
 	start := time.Now()
-	stageWall, err := e.execute(plan, params)
+	stats, err := e.execute(ctx, plan, sig, params)
 	e.tracer.SetScope(prevScope)
 	if err != nil {
 		e.tracer.End(runSpan, obs.String("error", err.Error()))
@@ -416,7 +467,7 @@ func (e *Engine) Run(p *expr.Program, params map[string]float64) (Metrics, error
 	}
 	wall := time.Since(start).Seconds()
 	after := e.cluster.Net().Snapshot()
-	m := e.metricsDelta(before, after, wall, plan.Stages, stageWall)
+	m := e.metricsDelta(before, after, wall, plan.Stages, stats)
 	e.tracer.End(runSpan, obs.Int64("comm_bytes", m.CommBytes))
 	return m, nil
 }
@@ -434,7 +485,8 @@ func (e *Engine) Plan(p *expr.Program) (*core.Plan, error) {
 	}
 }
 
-func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages int, stageWall map[int]float64) Metrics {
+func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages int, stats execStats) Metrics {
+	stageWall := stats.stageWall
 	cfg := e.cluster.Config()
 	bytes := after.Bytes - before.Bytes
 	events := after.CommEvents - before.CommEvents
@@ -503,5 +555,11 @@ func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages 
 		PerStage:      perStage,
 		Retries:       after.Retries - before.Retries,
 		RecoveryBytes: after.RecoveryBytes - before.RecoveryBytes,
+
+		CheckpointBytes:     stats.checkpointBytes,
+		CheckpointSeconds:   stats.checkpointSeconds,
+		StagesReplayed:      stats.stagesReplayed,
+		CorruptionsInjected: after.CorruptionsInjected - before.CorruptionsInjected,
+		CorruptionsDetected: after.CorruptionsDetected - before.CorruptionsDetected,
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,6 +15,31 @@ import (
 	"dmac/internal/obs"
 )
 
+// execState is the live state of one plan execution: the value table the
+// stages fill in, the stage structure, and everything the checkpoint/restore
+// machinery needs to rebuild or replay parts of it.
+type execState struct {
+	plan *core.Plan
+	// sig is the plan signature of this run, stamped into checkpoint
+	// manifests so a stale snapshot (different session, different plan) can
+	// never be restored into this execution.
+	sig        string
+	vals       []*dist.DistMatrix
+	valueStage []int
+	stages     []int
+	byStage    map[int][]*core.Op
+	params     map[string]float64
+}
+
+// execStats is what execute reports beyond success: per-stage wall time and
+// the durability counters of the run.
+type execStats struct {
+	stageWall         map[int]float64
+	checkpointBytes   int64
+	checkpointSeconds float64
+	stagesReplayed    int
+}
+
 // execute materializes a validated plan on the cluster stage by stage, then
 // folds assignments and scalar outputs back into the session.
 //
@@ -23,59 +49,102 @@ import (
 // stage) is a valid topological order, and a failed stage can be retried in
 // isolation once its inputs are recovered.
 // It returns the measured wall-clock seconds of each executed stage (all
-// attempts and recovery included) for per-stage metrics attribution.
-func (e *Engine) execute(plan *core.Plan, params map[string]float64) (map[int]float64, error) {
-	vals := make([]*dist.DistMatrix, len(plan.Values))
-	var stages []int
-	byStage := make(map[int][]*core.Op)
-	for _, op := range plan.Ops {
-		if _, ok := byStage[op.Stage]; !ok {
-			stages = append(stages, op.Stage)
-		}
-		byStage[op.Stage] = append(byStage[op.Stage], op)
+// attempts and recovery included) for per-stage metrics attribution, plus the
+// run's durability counters.
+//
+// Between stages the run's context is observed: cancellation or an expired
+// deadline aborts cleanly with the context's error (mid-stage, the executor's
+// workers observe the same context between block tasks). With a checkpointer
+// attached (SetCheckpoint), the policy is consulted after every completed
+// stage and selected snapshots of the live values are written to disk.
+func (e *Engine) execute(ctx context.Context, plan *core.Plan, sig string, params map[string]float64) (execStats, error) {
+	st := &execState{
+		plan:    plan,
+		sig:     sig,
+		vals:    make([]*dist.DistMatrix, len(plan.Values)),
+		byStage: make(map[int][]*core.Op),
+		params:  params,
 	}
-	sort.Ints(stages)
-	valueStage := make([]int, len(plan.Values))
-	for i := range valueStage {
-		valueStage[i] = -1
+	for _, op := range plan.Ops {
+		if _, ok := st.byStage[op.Stage]; !ok {
+			st.stages = append(st.stages, op.Stage)
+		}
+		st.byStage[op.Stage] = append(st.byStage[op.Stage], op)
+	}
+	sort.Ints(st.stages)
+	st.valueStage = make([]int, len(plan.Values))
+	for i := range st.valueStage {
+		st.valueStage[i] = -1
 	}
 	for _, op := range plan.Ops {
 		if op.Output >= 0 {
-			valueStage[op.Output] = op.Stage
+			st.valueStage[op.Output] = op.Stage
 		}
 	}
-	stageWall := make(map[int]float64, len(stages))
-	for _, s := range stages {
+	e.ckpt.beginRun()
+	stats := execStats{stageWall: make(map[int]float64, len(st.stages))}
+	for _, s := range st.stages {
+		if err := ctx.Err(); err != nil {
+			return stats, fmt.Errorf("engine: run cancelled before stage %d: %w", s, err)
+		}
 		span := e.tracer.Start("engine", fmt.Sprintf("stage %d", s), e.tracer.Scope(),
-			obs.Int64("stage", int64(s)), obs.Int64("ops", int64(len(byStage[s]))))
+			obs.Int64("stage", int64(s)), obs.Int64("ops", int64(len(st.byStage[s]))))
 		prev := e.tracer.SetScope(span)
+		netBefore := e.cluster.Net().Snapshot()
 		start := time.Now()
-		err := e.runStage(plan, s, byStage[s], vals, valueStage, params)
-		stageWall[s] = time.Since(start).Seconds()
+		err := e.runStage(st, s)
+		stats.stageWall[s] = time.Since(start).Seconds()
 		e.tracer.SetScope(prev)
 		e.tracer.End(span)
 		if err != nil {
-			return stageWall, err
+			return stats, err
+		}
+		if e.ckpt != nil {
+			e.ckpt.noteStage(e.modelCost(netBefore, e.cluster.Net().Snapshot()))
+			if e.ckpt.shouldCheckpoint(estimateLiveBytes(st.vals)) {
+				e.writeCheckpoint(st, s)
+			}
 		}
 	}
-	e.cacheLeafInstances(plan, vals)
-	return stageWall, e.commitAssignments(plan, vals)
+	if e.ckpt != nil {
+		stats.checkpointBytes = e.ckpt.bytes
+		stats.checkpointSeconds = e.ckpt.seconds
+		stats.stagesReplayed = e.ckpt.replayed
+	}
+	e.cacheLeafInstances(plan, st.vals)
+	return stats, e.commitAssignments(plan, st.vals)
+}
+
+// modelCost prices a NetStats delta with the cluster's cost model: modelled
+// compute seconds plus modelled network seconds — what re-running the work
+// the delta describes would cost.
+func (e *Engine) modelCost(before, after dist.Snapshot) float64 {
+	cfg := e.cluster.Config()
+	threads := float64(cfg.Workers * cfg.LocalParallelism)
+	compute := (after.FLOPs - before.FLOPs) * cfg.MaxSlowdown() / (threads * cfg.FlopsPerSecPerThread)
+	network := float64(after.Bytes-before.Bytes)/cfg.BandwidthBytesPerSec +
+		float64(after.CommEvents-before.CommEvents)*cfg.ShuffleLatencySec
+	return compute + network
 }
 
 // runStage executes one stage's ops, retrying on injected worker failures
 // with capped exponential backoff. Each failed attempt recovers the stage's
 // inputs from lineage (session instances and earlier stages' values) before
 // the retry; the ops themselves are deterministic functions of their inputs,
-// so a retried stage reproduces the exact blocks of a fault-free run.
-func (e *Engine) runStage(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, valueStage []int, params map[string]float64) error {
+// so a retried stage reproduces the exact blocks of a fault-free run. With a
+// checkpointer attached, recovery additionally restores the newest valid
+// on-disk snapshot and replays only the stages after it (the recovery ladder
+// of restoreAndReplay), instead of relying on the full lineage.
+func (e *Engine) runStage(st *execState, stage int) error {
 	cfg := e.cluster.Config()
+	ops := st.byStage[stage]
 	for attempt := 0; ; attempt++ {
 		span := e.tracer.Start("engine", "attempt", e.tracer.Scope(),
 			obs.Int64("stage", int64(stage)), obs.Int64("attempt", int64(attempt)))
 		prev := e.tracer.SetScope(span)
 		err := e.cluster.BeginStage(stage, attempt)
 		if err == nil {
-			err = e.runOps(plan, stage, ops, vals, params)
+			err = e.runOps(st.plan, stage, ops, st.vals, st.params)
 		}
 		if err == nil {
 			// An armed task kill that no operator of this stage consumed
@@ -97,9 +166,16 @@ func (e *Engine) runStage(plan *core.Plan, stage int, ops []*core.Op, vals []*di
 		rec := e.tracer.Start("engine", "recover", e.tracer.Scope(),
 			obs.Int64("stage", int64(stage)), obs.Int64("worker", int64(wf.Worker)))
 		prev = e.tracer.SetScope(rec)
-		e.recoverStage(plan, stage, ops, vals, valueStage, wf)
+		e.recoverStage(st, stage, wf)
+		var rerr error
+		if e.ckpt != nil {
+			_, rerr = e.restoreAndReplay(st, stage)
+		}
 		e.tracer.SetScope(prev)
 		e.tracer.End(rec)
+		if rerr != nil {
+			return rerr
+		}
 		backoff := cfg.RetryBackoffBaseSec * math.Pow(2, float64(attempt))
 		if backoff > cfg.RetryBackoffCapSec {
 			backoff = cfg.RetryBackoffCapSec
@@ -117,21 +193,21 @@ func (e *Engine) runStage(plan *core.Plan, stage int, ops []*core.Op, vals []*di
 // worker's share is measured against pre-failure ownership (before the kill
 // takes effect), then the worker is removed and the recovery shuffle is
 // charged.
-func (e *Engine) recoverStage(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, valueStage []int, wf *dist.WorkerFailure) {
+func (e *Engine) recoverStage(st *execState, stage int, wf *dist.WorkerFailure) {
 	var bytes int64
 	seen := make(map[core.ValueID]bool)
-	for _, op := range ops {
+	for _, op := range st.byStage[stage] {
 		if op.Kind == core.OpLoad || op.Kind == core.OpVar {
-			if inst, err := e.leafInstance(op, plan); err == nil {
+			if inst, err := e.leafInstance(op, st.plan); err == nil {
 				bytes += e.cluster.WorkerBytes(inst, wf.Worker)
 			}
 		}
 		for _, id := range op.Inputs {
-			if id < 0 || seen[id] || vals[id] == nil || valueStage[id] >= stage {
+			if id < 0 || seen[id] || st.vals[id] == nil || st.valueStage[id] >= stage {
 				continue
 			}
 			seen[id] = true
-			bytes += e.cluster.WorkerBytes(vals[id], wf.Worker)
+			bytes += e.cluster.WorkerBytes(st.vals[id], wf.Worker)
 		}
 	}
 	if e.cluster.KillWorker(wf.Worker) {

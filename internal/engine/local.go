@@ -137,7 +137,7 @@ func (e *Engine) runLocal(p *expr.Program, params map[string]float64) (Metrics, 
 	}
 	wall := time.Since(start).Seconds()
 	after := e.cluster.Net().Snapshot()
-	return e.metricsDelta(before, after, wall, 0, nil), nil
+	return e.metricsDelta(before, after, wall, 0, execStats{}), nil
 }
 
 func scalarNameFor(p *expr.Program, n *expr.Node) string {

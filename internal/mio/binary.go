@@ -2,8 +2,11 @@ package mio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -17,22 +20,94 @@ import (
 //	  kind u8 (0 dense, 1 CSC)
 //	  dense: rows*cols f64
 //	  CSC:   nnz u64, colPtr (cols+1) u32, rowIdx nnz u32, values nnz f64
+//	  version 2 only: crc u32 — CRC32C over the block's kind byte and payload
 //
-// The format round-trips block representations exactly, making it suitable
-// for checkpointing session variables.
+// The format round-trips block representations exactly. Version 2 adds a
+// per-block CRC32C so checkpointed session variables detect on-disk
+// corruption end to end: a reader of a version-2 stream verifies every block
+// before trusting it and fails with ErrChecksum on a mismatch.
 
 const (
-	binaryMagic   = "DMGR"
+	binaryMagic = "DMGR"
+	// binaryVersion is the legacy unchecksummed layout.
 	binaryVersion = 1
+	// binaryVersionChecked appends a CRC32C to every block.
+	binaryVersionChecked = 2
 )
 
-// WriteGrid serializes a grid to the binary format.
+// Reader hardening bounds. A header is attacker-controlled until its blocks
+// verify, so everything the reader allocates eagerly from header fields is
+// bounded before the allocation happens; payload-sized buffers grow
+// incrementally with the bytes actually read, so a lying header costs memory
+// proportional to the real input, never to its claims.
+const (
+	// maxDim keeps int conversions of dimensions safe on 32-bit platforms.
+	maxDim = 1<<31 - 1
+	// maxEmptyGridBytes caps the estimated footprint of the empty grid a
+	// header implies (block headers plus per-block column-pointer arrays),
+	// which matrix.NewGrid allocates before any payload byte is validated.
+	maxEmptyGridBytes = 1 << 28
+	// maxBlocks caps the block count a header may imply: constructing the
+	// empty grid costs time and memory per block, and a hostile header must
+	// not buy millions of block allocations with 36 bytes of input.
+	maxBlocks = 1 << 20
+	// emptyBlockOverheadBytes approximates the fixed cost of one empty block
+	// (interface header, struct, slice headers).
+	emptyBlockOverheadBytes = 96
+)
+
+// ErrChecksum reports a block whose stored CRC32C does not match its
+// payload: the stream was corrupted after it was written. Recovery ladders
+// test for it with errors.Is to distinguish corruption from truncation.
+var ErrChecksum = errors.New("mio: block checksum mismatch")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockChecksum returns the CRC32C of a block's binary encoding — the same
+// checksum a version-2 stream stores after the block. The distributed
+// runtime uses it to verify blocks at shuffle hand-off without serializing
+// them to disk.
+func BlockChecksum(b matrix.Block) uint32 {
+	h := crc32.New(castagnoli)
+	// writeBlock only fails on writer errors; a hash never errors.
+	_ = writeBlock(h, b)
+	return h.Sum32()
+}
+
+// EncodeBlock returns the binary encoding of one block (kind byte plus
+// payload) — the bytes a shuffle hand-off of the block would move, and the
+// bytes BlockChecksum covers.
+func EncodeBlock(b matrix.Block) []byte {
+	var buf bytes.Buffer
+	_ = writeBlock(&buf, b)
+	return buf.Bytes()
+}
+
+// ChecksumBytes returns the CRC32C of raw bytes, matching BlockChecksum over
+// a block's EncodeBlock encoding.
+func ChecksumBytes(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}
+
+// WriteGrid serializes a grid to the legacy (version 1, unchecksummed)
+// binary format.
 func WriteGrid(w io.Writer, g *matrix.Grid) error {
+	return writeGrid(w, g, binaryVersion)
+}
+
+// WriteGridChecked serializes a grid to the version-2 format with a CRC32C
+// per block, the layout checkpoints use: a reader verifies every block
+// against its stored checksum and surfaces corruption as ErrChecksum.
+func WriteGridChecked(w io.Writer, g *matrix.Grid) error {
+	return writeGrid(w, g, binaryVersionChecked)
+}
+
+func writeGrid(w io.Writer, g *matrix.Grid, version uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
 	}
-	hdr := []uint64{binaryVersion, uint64(g.Rows()), uint64(g.Cols()), uint64(g.BlockSize())}
+	hdr := []uint64{version, uint64(g.Rows()), uint64(g.Cols()), uint64(g.BlockSize())}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
@@ -40,7 +115,15 @@ func WriteGrid(w io.Writer, g *matrix.Grid) error {
 	}
 	for bi := 0; bi < g.BlockRows(); bi++ {
 		for bj := 0; bj < g.BlockCols(); bj++ {
-			if err := writeBlock(bw, g.Block(bi, bj)); err != nil {
+			if version == binaryVersionChecked {
+				h := crc32.New(castagnoli)
+				if err := writeBlock(io.MultiWriter(bw, h), g.Block(bi, bj)); err != nil {
+					return err
+				}
+				if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+					return err
+				}
+			} else if err := writeBlock(bw, g.Block(bi, bj)); err != nil {
 				return err
 			}
 		}
@@ -78,7 +161,11 @@ func writeBlock(w io.Writer, b matrix.Block) error {
 	}
 }
 
-// ReadGrid deserializes a grid written by WriteGrid.
+// ReadGrid deserializes a grid written by WriteGrid or WriteGridChecked
+// (version dispatch is automatic). Corrupt input of any shape — truncation,
+// bit flips, hostile headers — yields an error, never a panic, and never an
+// allocation larger than the input justifies; checksum mismatches in a
+// version-2 stream are reported as ErrChecksum.
 func ReadGrid(r io.Reader) (*matrix.Grid, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -94,18 +181,21 @@ func ReadGrid(r io.Reader) (*matrix.Grid, error) {
 			return nil, fmt.Errorf("mio: reading header: %w", err)
 		}
 	}
-	if version != binaryVersion {
+	if version != binaryVersion && version != binaryVersionChecked {
 		return nil, fmt.Errorf("mio: unsupported version %d", version)
 	}
-	const maxDim = 1 << 32
 	if rows == 0 || cols == 0 || bs == 0 || rows > maxDim || cols > maxDim || bs > maxDim {
 		return nil, fmt.Errorf("mio: implausible dimensions %dx%d/bs=%d", rows, cols, bs)
 	}
+	if err := boundEmptyGrid(rows, cols, bs); err != nil {
+		return nil, err
+	}
 	g := matrix.NewGrid(int(rows), int(cols), int(bs))
+	checked := version == binaryVersionChecked
 	for bi := 0; bi < g.BlockRows(); bi++ {
 		for bj := 0; bj < g.BlockCols(); bj++ {
 			br2, bc2 := g.BlockDims(bi, bj)
-			blk, err := readBlock(br, br2, bc2)
+			blk, err := readBlockChecked(br, br2, bc2, checked)
 			if err != nil {
 				return nil, fmt.Errorf("mio: block (%d,%d): %w", bi, bj, err)
 			}
@@ -115,41 +205,135 @@ func ReadGrid(r io.Reader) (*matrix.Grid, error) {
 	return g, nil
 }
 
+// boundEmptyGrid rejects headers whose empty grid alone (before any payload
+// is read) would exceed maxEmptyGridBytes: one empty CSC block per grid cell,
+// each carrying a (blockCols+1)-entry column-pointer array.
+func boundEmptyGrid(rows, cols, bs uint64) error {
+	brows := (rows + bs - 1) / bs
+	bcols := (cols + bs - 1) / bs
+	blocks := brows * bcols
+	if brows > 0 && (blocks/brows != bcols || blocks > maxBlocks) {
+		return fmt.Errorf("mio: implausible block count %dx%d", brows, bcols)
+	}
+	// Per block row: bcols block overheads plus column pointers covering all
+	// cols (4 bytes each) plus one extra pointer per block.
+	perBlockRow := bcols*emptyBlockOverheadBytes + 4*(cols+bcols)
+	if brows > 0 && perBlockRow > maxEmptyGridBytes/brows {
+		return fmt.Errorf("mio: header implies > %d bytes of empty grid (%dx%d/bs=%d)",
+			maxEmptyGridBytes, rows, cols, bs)
+	}
+	return nil
+}
+
+// readBlockChecked reads one block, verifying its trailing CRC32C when
+// checked is set.
+func readBlockChecked(r io.Reader, rows, cols int, checked bool) (matrix.Block, error) {
+	if !checked {
+		return readBlock(r, rows, cols)
+	}
+	h := crc32.New(castagnoli)
+	blk, err := readBlock(io.TeeReader(r, h), rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	var want uint32
+	if err := binary.Read(r, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("reading checksum: %w", err)
+	}
+	if got := h.Sum32(); got != want {
+		return nil, fmt.Errorf("%w: got %08x, stored %08x", ErrChecksum, got, want)
+	}
+	return blk, nil
+}
+
+// readChunkElems bounds how many elements each incremental read step
+// allocates, so buffer growth tracks bytes actually present in the input.
+const readChunkElems = 64 * 1024
+
+// readFloat64s reads n little-endian float64s, growing the destination
+// incrementally so a lying header cannot force an up-front allocation larger
+// than the real input.
+func readFloat64s(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, minInt(n, readChunkElems))
+	buf := make([]byte, 8*minInt(n, readChunkElems))
+	for len(out) < n {
+		step := minInt(n-len(out), readChunkElems)
+		if _, err := io.ReadFull(r, buf[:8*step]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < step; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	}
+	return out, nil
+}
+
+// readInt32s is readFloat64s for little-endian int32s.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, minInt(n, readChunkElems))
+	buf := make([]byte, 4*minInt(n, readChunkElems))
+	for len(out) < n {
+		step := minInt(n-len(out), readChunkElems)
+		if _, err := io.ReadFull(r, buf[:4*step]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < step; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 func readBlock(r io.Reader, rows, cols int) (matrix.Block, error) {
 	kind := make([]byte, 1)
 	if _, err := io.ReadFull(r, kind); err != nil {
 		return nil, err
 	}
+	// Element counts are computed in uint64 and bounded to int32 range so
+	// block-local int arithmetic cannot overflow on 32-bit platforms.
+	elems := uint64(rows) * uint64(cols)
+	if elems > math.MaxInt32 {
+		return nil, fmt.Errorf("block %dx%d too large", rows, cols)
+	}
 	switch kind[0] {
 	case 0:
-		d := matrix.NewDense(rows, cols)
-		if err := binary.Read(r, binary.LittleEndian, d.Data); err != nil {
+		data, err := readFloat64s(r, int(elems))
+		if err != nil {
 			return nil, err
 		}
-		for _, v := range d.Data {
+		for _, v := range data {
 			if math.IsNaN(v) {
 				return nil, fmt.Errorf("NaN in dense block")
 			}
 		}
+		d := matrix.NewDense(rows, cols)
+		copy(d.Data, data)
 		return d, nil
 	case 1:
 		var nnz uint64
 		if err := binary.Read(r, binary.LittleEndian, &nnz); err != nil {
 			return nil, err
 		}
-		if nnz > uint64(rows)*uint64(cols) {
+		if nnz > elems {
 			return nil, fmt.Errorf("nnz %d exceeds block capacity", nnz)
 		}
-		colPtr := make([]int32, cols+1)
-		if err := binary.Read(r, binary.LittleEndian, colPtr); err != nil {
+		colPtr, err := readInt32s(r, cols+1)
+		if err != nil {
 			return nil, err
 		}
-		rowIdx := make([]int32, nnz)
-		if err := binary.Read(r, binary.LittleEndian, rowIdx); err != nil {
+		rowIdx, err := readInt32s(r, int(nnz))
+		if err != nil {
 			return nil, err
 		}
-		values := make([]float64, nnz)
-		if err := binary.Read(r, binary.LittleEndian, values); err != nil {
+		values, err := readFloat64s(r, int(nnz))
+		if err != nil {
 			return nil, err
 		}
 		// Validate structure before trusting it.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -58,6 +59,54 @@ func TestForEachErrSequentialStopsAtError(t *testing.T) {
 	})
 	if err == nil || ran != 6 {
 		t.Errorf("sequential path ran %d tasks (err=%v), want 6 with error", ran, err)
+	}
+}
+
+// A context cancelled mid-batch aborts the batch at the next task boundary
+// with the context's error, on both the parallel and sequential paths.
+func TestForEachErrObservesContext(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := NewExecutor(workers, nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		e.SetContext(ctx)
+		const n = 10000
+		var ran atomic.Int32
+		err := e.ForEachErr(n, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: ForEachErr = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got > n/2 {
+			t.Errorf("workers=%d: %d of %d tasks ran after cancellation", workers, got, n)
+		}
+		// Restoring the background context makes batches run normally again.
+		e.SetContext(nil)
+		if err := e.ForEachErr(10, func(int) error { return nil }); err != nil {
+			t.Errorf("workers=%d: ForEachErr after SetContext(nil) = %v", workers, err)
+		}
+	}
+}
+
+// An already-expired deadline aborts the batch before any task runs.
+func TestForEachErrExpiredDeadline(t *testing.T) {
+	e := NewExecutor(4, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	var ran atomic.Int32
+	err := e.ForEachErr(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEachErr = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d tasks ran under a cancelled context", got)
 	}
 }
 

@@ -7,6 +7,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,10 @@ type Executor struct {
 	// atomic so enabling observability never races with running batches.
 	tracer  atomic.Pointer[obs.Tracer]
 	metrics atomic.Pointer[obs.Registry]
+	// ctx is the cancellation context task batches observe (see SetContext);
+	// nil means context.Background(). Atomic for the same reason the
+	// observers are.
+	ctx atomic.Pointer[context.Context]
 }
 
 // NewExecutor creates an executor with the given local parallelism (L in the
@@ -66,6 +71,28 @@ func (e *Executor) SetObserver(t *obs.Tracer, m *obs.Registry) {
 	e.metrics.Store(m)
 }
 
+// SetContext installs the context every subsequent task batch observes:
+// workers check it between tasks, so cancelling it (or its deadline passing)
+// aborts a batch at the next task boundary and ForEachErr returns the
+// context's error. Tasks already running are allowed to finish — block tasks
+// are short, which makes the boundary check a clean and prompt cancellation
+// point. A nil context restores context.Background() (never cancelled).
+func (e *Executor) SetContext(ctx context.Context) {
+	if ctx == nil {
+		e.ctx.Store(nil)
+		return
+	}
+	e.ctx.Store(&ctx)
+}
+
+// Context returns the context task batches currently observe.
+func (e *Executor) Context() context.Context {
+	if p := e.ctx.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
+}
+
 // ForEach runs fn(i) for i in [0, n) on the executor's threads. It blocks
 // until all tasks complete. Tasks are pulled from a shared queue, matching
 // the task-queue model of Figure 4.
@@ -81,11 +108,14 @@ func (e *Executor) ForEach(n int, fn func(i int)) {
 // queued tasks are cancelled (drained without running) — the task-level
 // cancellation a failed stage attempt needs so a worker death doesn't
 // compute the rest of the stage for nothing. Tasks already running are
-// allowed to finish.
+// allowed to finish. Workers also observe the executor's context (see
+// SetContext) between tasks: a cancelled context aborts the batch the same
+// way a failed task does, and its error is returned.
 func (e *Executor) ForEachErr(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	ctx := e.Context()
 	workers := e.parallelism
 	if workers > n {
 		workers = n
@@ -120,6 +150,9 @@ func (e *Executor) ForEachErr(n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -143,7 +176,11 @@ func (e *Executor) ForEachErr(n int, fn func(i int) error) error {
 				if failed.Load() {
 					continue // drain cancelled tasks without running them
 				}
-				if err := fn(i); err != nil {
+				err := ctx.Err()
+				if err == nil {
+					err = fn(i)
+				}
+				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err

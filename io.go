@@ -24,5 +24,16 @@ func WriteMatrixMarket(w io.Writer, g *Grid) error {
 // variables).
 func WriteGrid(w io.Writer, g *Grid) error { return mio.WriteGrid(w, g) }
 
-// ReadGrid deserializes a grid written by WriteGrid.
+// WriteGridChecked serializes a grid like WriteGrid but in the checksummed
+// format (version 2): every block carries a CRC32C that ReadGrid verifies on
+// the way back in, failing with ErrChecksum on any bit damage. The session
+// checkpoint manager writes its snapshots in this format.
+func WriteGridChecked(w io.Writer, g *Grid) error { return mio.WriteGridChecked(w, g) }
+
+// ReadGrid deserializes a grid written by WriteGrid or WriteGridChecked
+// (the format version is read from the header).
 func ReadGrid(r io.Reader) (*Grid, error) { return mio.ReadGrid(r) }
+
+// ErrChecksum is the error ReadGrid wraps when a checksummed block's stored
+// CRC32C does not match its bytes.
+var ErrChecksum = mio.ErrChecksum
