@@ -10,6 +10,7 @@
 //	dmacbench -chaos
 //	dmacbench -trace out.json -metrics-out metrics.json
 //	dmacbench -kernels -kernel-sizes 64,128,256,512 -kernels-out BENCH_kernels.json
+//	dmacbench -serve -serve-tenants 3 -serve-jobs 8 -serve-out BENCH_serve.json
 package main
 
 import (
@@ -40,6 +41,12 @@ func main() {
 	kernels := flag.Bool("kernels", false, "run only the local kernel microbenchmarks")
 	kernelSizes := flag.String("kernel-sizes", "64,128,256,512", "comma-separated square block sizes for -kernels")
 	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report JSON to this path")
+	serveMode := flag.Bool("serve", false, "run only the closed-loop serve load benchmark (K tenants x M jobs against an in-process job service)")
+	serveTenants := flag.Int("serve-tenants", 3, "with -serve, concurrent tenants (K)")
+	serveJobs := flag.Int("serve-jobs", 8, "with -serve, jobs per tenant (M)")
+	serveSlots := flag.Int("serve-slots", 3, "with -serve, engine pool size")
+	serveSeed := flag.Int64("serve-seed", 1, "with -serve, workload-mix seed")
+	serveOut := flag.String("serve-out", "", "with -serve, also write the report JSON to this path")
 	flag.Parse()
 
 	// Validate the sweep's fault plans up front: a malformed plan should die
@@ -66,6 +73,21 @@ func main() {
 	if *tracePath != "" {
 		if err := runTraced(w, *traceApp, *tracePath, *metricsPath, *iters, *scale); err != nil {
 			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
+	if *serveMode {
+		opts := bench.ServeOptions{
+			Tenants:       *serveTenants,
+			JobsPerTenant: *serveJobs,
+			Slots:         *serveSlots,
+			Seed:          *serveSeed,
+			Timeout:       *timeout,
+		}
+		if err := bench.Serve(w, opts, *serveOut, func(path string, data []byte) error {
+			return os.WriteFile(path, data, 0o644)
+		}); err != nil {
+			log.Fatalf("serve: %v", err)
 		}
 		return
 	}

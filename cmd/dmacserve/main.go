@@ -1,0 +1,135 @@
+// dmacserve runs the multi-tenant DMac job service: an HTTP JSON API over a
+// pool of reusable engines with per-tenant admission control and quotas.
+//
+// Usage:
+//
+//	dmacserve -addr :8421 -slots 4 -workers 4
+//	curl -s localhost:8421/v1/jobs -d '{"tenant":"alice","workload":"pagerank","params":{"nodes":256,"iters":5}}'
+//	curl -s localhost:8421/v1/jobs/job-000001?include=result
+//	curl -s localhost:8421/v1/stats
+//
+// SIGINT/SIGTERM trigger a graceful drain: admission stops immediately,
+// in-flight and queued jobs get -drain-timeout to finish, then the queue is
+// shed and running jobs are canceled (engines started with -checkpoint-dir
+// have flushed per-stage snapshots of whatever was interrupted).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmac/internal/dist"
+	"dmac/internal/engine"
+	"dmac/internal/obs"
+	"dmac/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8421", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving (for scripted clients)")
+	plannerName := flag.String("planner", "dmac", "engine: dmac | systemml | local")
+	workers := flag.Int("workers", 4, "simulated cluster workers per engine slot")
+	blockSize := flag.Int("block", 64, "block size for served jobs")
+	slots := flag.Int("slots", 2, "engine pool size = max concurrently running jobs")
+	queueCap := flag.Int("queue", 32, "admission queue capacity across all tenants")
+	maxConcurrent := flag.Int("tenant-concurrent", 2, "default per-tenant concurrent-job quota")
+	maxQueued := flag.Int("tenant-queued", 8, "default per-tenant queued-job quota")
+	maxBytes := flag.Int64("tenant-bytes", 256<<20, "default per-tenant estimated-memory quota for running jobs")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-job run deadline")
+	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "how long a shutdown waits for queued and running jobs")
+	checkpointDir := flag.String("checkpoint-dir", "", "per-slot per-stage checkpoints under this directory (forced shutdowns leave flushed snapshots)")
+	metricsPath := flag.String("metrics-out", "", "write the metrics registry dump to this path on exit")
+	flag.Parse()
+
+	var planner engine.Planner
+	switch *plannerName {
+	case "dmac":
+		planner = engine.DMac
+	case "systemml":
+		planner = engine.SystemMLS
+	case "local":
+		planner = engine.Local
+	default:
+		log.Fatalf("unknown planner %q", *plannerName)
+	}
+
+	registry := obs.NewRegistry()
+	svc, err := serve.NewService(serve.Options{
+		Planner:         planner,
+		Cluster:         dist.ScaledConfig(*workers, 8),
+		BlockSize:       *blockSize,
+		Slots:           *slots,
+		QueueCapacity:   *queueCap,
+		DefaultQuota:    serve.TenantQuota{MaxConcurrent: *maxConcurrent, MaxQueued: *maxQueued, MaxBytes: *maxBytes},
+		DefaultDeadline: *deadline,
+		Metrics:         registry,
+		CheckpointDir:   *checkpointDir,
+	})
+	if err != nil {
+		log.Fatalf("dmacserve: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dmacserve: listen %s: %v", *addr, err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("dmacserve: addr-file: %v", err)
+		}
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("dmacserve: serving on %s (planner=%s slots=%d workers=%d block=%d)",
+		ln.Addr(), planner, *slots, *workers, *blockSize)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("dmacserve: %s: draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("dmacserve: server: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Stop(ctx); err != nil {
+		log.Printf("dmacserve: forced drain: %v", err)
+	} else {
+		log.Printf("dmacserve: drained cleanly")
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dmacserve: http shutdown: %v", err)
+	}
+	<-errCh
+
+	st := svc.Stats()
+	log.Printf("dmacserve: exit: submitted=%d completed=%d failed=%d canceled=%d rejected=%d",
+		st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected)
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, registry); err != nil {
+			log.Printf("dmacserve: metrics-out: %v", err)
+		}
+	}
+}
+
+func writeMetrics(path string, r *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteMetricsJSON(f, r.Snapshot())
+}

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dmac/internal/engine"
+	"dmac/internal/serve"
+	"dmac/internal/workload"
+)
+
+// ServeOptions configures the closed-loop serve load generator: K tenants
+// each run a worker that keeps M jobs' worth of demand against an in-process
+// Service, drawing from a mixed workload table. Closed-loop means every
+// tenant has at most its quota in flight and submits the next job when one
+// finishes (retrying after the hinted backoff on rejection), which is the
+// steady-state traffic shape the admission controller is designed for.
+type ServeOptions struct {
+	Tenants       int
+	JobsPerTenant int
+	Slots         int
+	Workers       int
+	BlockSize     int
+	Seed          int64
+	Timeout       time.Duration
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.Tenants <= 0 {
+		o.Tenants = 3
+	}
+	if o.JobsPerTenant <= 0 {
+		o.JobsPerTenant = 8
+	}
+	if o.Slots <= 0 {
+		o.Slots = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = DefaultWorkers
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = chaosBlockSize
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	return o
+}
+
+// serveMix is the workload table the load generator draws from — one entry
+// per registered workload, sized to keep single-job latency in the tens of
+// milliseconds so a bench run exercises scheduling, not arithmetic.
+var serveMix = []struct {
+	workload string
+	params   workload.Params
+}{
+	{"pagerank", workload.Params{"nodes": 96, "iters": 3}},
+	{"gram", workload.Params{"rows": 48, "cols": 32}},
+	{"blend", workload.Params{"n": 48, "k": 8}},
+}
+
+// ServeReport is the committed BENCH_serve.json shape.
+type ServeReport struct {
+	Config struct {
+		Tenants       int   `json:"tenants"`
+		JobsPerTenant int   `json:"jobs_per_tenant"`
+		Slots         int   `json:"slots"`
+		Workers       int   `json:"workers"`
+		BlockSize     int   `json:"block_size"`
+		Seed          int64 `json:"seed"`
+	} `json:"config"`
+	Jobs          int     `json:"jobs"`
+	Failed        int     `json:"failed"`
+	Rejections    int64   `json:"rejections"`
+	RejectionRate float64 `json:"rejection_rate"`
+	WallSec       float64 `json:"wall_sec"`
+	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
+
+	LatencyP50Sec float64 `json:"latency_p50_sec"`
+	LatencyP95Sec float64 `json:"latency_p95_sec"`
+	LatencyP99Sec float64 `json:"latency_p99_sec"`
+
+	QueueWaitP50Sec  float64 `json:"queue_wait_p50_sec"`
+	QueueWaitP95Sec  float64 `json:"queue_wait_p95_sec"`
+	QueueWaitP99Sec  float64 `json:"queue_wait_p99_sec"`
+	QueueWaitMeanSec float64 `json:"queue_wait_mean_sec"`
+
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	JobCacheHits    int64 `json:"job_cache_hits"`
+}
+
+// RunServe drives the closed-loop load and aggregates the report.
+func RunServe(opts ServeOptions) (*ServeReport, error) {
+	opts = opts.withDefaults()
+	svc, err := serve.NewService(serve.Options{
+		Planner:       engine.DMac,
+		Cluster:       clusterConfig(opts.Workers),
+		BlockSize:     opts.BlockSize,
+		Slots:         opts.Slots,
+		QueueCapacity: opts.Tenants * 4,
+		DefaultQuota:  serve.TenantQuota{MaxConcurrent: 2, MaxQueued: 2},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	defer cancel()
+	defer func() {
+		stopCtx, stopCancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer stopCancel()
+		_ = svc.Stop(stopCtx)
+	}()
+
+	type sample struct {
+		latency  float64
+		wait     float64
+		rejected bool
+		failed   bool
+	}
+	var mu sync.Mutex
+	var samples []sample
+	var rejections int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Tenants)
+	for t := 0; t < opts.Tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(t)))
+			tenant := fmt.Sprintf("tenant-%d", t)
+			for j := 0; j < opts.JobsPerTenant; j++ {
+				mix := serveMix[rng.Intn(len(serveMix))]
+				params := workload.Params{"seed": float64(rng.Intn(4))}
+				for k, v := range mix.params {
+					params[k] = v
+				}
+				submitted := time.Now()
+				var st serve.JobStatus
+				for {
+					var err error
+					st, err = svc.Submit(serve.JobSpec{
+						Tenant:   tenant,
+						Workload: mix.workload,
+						Params:   params,
+						Priority: rng.Intn(3),
+					})
+					if err == nil {
+						break
+					}
+					var rej *serve.Rejection
+					if errors.As(err, &rej) && rej.Retryable && ctx.Err() == nil {
+						mu.Lock()
+						rejections++
+						mu.Unlock()
+						select {
+						case <-time.After(rej.RetryAfter):
+						case <-ctx.Done():
+							errCh <- ctx.Err()
+							return
+						}
+						continue
+					}
+					errCh <- fmt.Errorf("tenant %s: %w", tenant, err)
+					return
+				}
+				fin, err := svc.Wait(ctx, st.ID)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				samples = append(samples, sample{
+					latency: time.Since(submitted).Seconds(),
+					wait:    fin.QueueSec,
+					failed:  fin.State != serve.StateDone,
+				})
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	rep := &ServeReport{}
+	rep.Config.Tenants = opts.Tenants
+	rep.Config.JobsPerTenant = opts.JobsPerTenant
+	rep.Config.Slots = opts.Slots
+	rep.Config.Workers = opts.Workers
+	rep.Config.BlockSize = opts.BlockSize
+	rep.Config.Seed = opts.Seed
+	rep.Jobs = len(samples)
+	rep.WallSec = wall
+	if wall > 0 {
+		rep.ThroughputJPS = float64(len(samples)) / wall
+	}
+	var lats, waits []float64
+	var waitSum float64
+	for _, s := range samples {
+		if s.failed {
+			rep.Failed++
+		}
+		lats = append(lats, s.latency)
+		waits = append(waits, s.wait)
+		waitSum += s.wait
+	}
+	rep.LatencyP50Sec = percentile(lats, 0.50)
+	rep.LatencyP95Sec = percentile(lats, 0.95)
+	rep.LatencyP99Sec = percentile(lats, 0.99)
+	rep.QueueWaitP50Sec = percentile(waits, 0.50)
+	rep.QueueWaitP95Sec = percentile(waits, 0.95)
+	rep.QueueWaitP99Sec = percentile(waits, 0.99)
+	if len(waits) > 0 {
+		rep.QueueWaitMeanSec = waitSum / float64(len(waits))
+	}
+	rep.Rejections = rejections
+	attempts := int64(len(samples)) + rejections
+	if attempts > 0 {
+		rep.RejectionRate = float64(rejections) / float64(attempts)
+	}
+	stats := svc.Stats()
+	rep.PlanCacheHits = stats.PlanCache.Hits
+	rep.PlanCacheMisses = stats.PlanCache.Misses
+	rep.JobCacheHits = stats.JobCache.Hits
+	return rep, nil
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+// Serve runs the load generator, prints a summary table, and optionally
+// writes the JSON report.
+func Serve(w io.Writer, opts ServeOptions, jsonPath string, writeFile func(string, []byte) error) error {
+	rep, err := RunServe(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# serve closed-loop load: %d tenants x %d jobs, %d slots\n",
+		rep.Config.Tenants, rep.Config.JobsPerTenant, rep.Config.Slots)
+	writeTable(w, []string{"metric", "value"}, [][]string{
+		{"jobs", fmt.Sprintf("%d (failed %d)", rep.Jobs, rep.Failed)},
+		{"wall", fmt.Sprintf("%.3fs", rep.WallSec)},
+		{"throughput", fmt.Sprintf("%.1f jobs/s", rep.ThroughputJPS)},
+		{"latency p50/p95/p99", fmt.Sprintf("%.4f / %.4f / %.4f s", rep.LatencyP50Sec, rep.LatencyP95Sec, rep.LatencyP99Sec)},
+		{"queue wait p50/p95/p99", fmt.Sprintf("%.4f / %.4f / %.4f s", rep.QueueWaitP50Sec, rep.QueueWaitP95Sec, rep.QueueWaitP99Sec)},
+		{"rejection rate", fmt.Sprintf("%.1f%% (%d rejections)", 100*rep.RejectionRate, rep.Rejections)},
+		{"plan cache", fmt.Sprintf("%d hits / %d misses", rep.PlanCacheHits, rep.PlanCacheMisses)},
+		{"job cache hits", fmt.Sprintf("%d", rep.JobCacheHits)},
+	})
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(jsonPath, append(data, '\n')); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -183,6 +184,14 @@ type varState struct {
 }
 
 // Engine runs matrix programs and maintains the session between runs.
+//
+// Concurrency contract: an Engine is a session and must be driven by at most
+// one goroutine at a time — Bind, Run/RunCtx, Reset, Grid and the setters all
+// touch unsynchronized session state (and RunCtx installs the run's context
+// on the cluster's executor for its duration). Run engines in parallel by
+// giving each goroutine its own Engine; the serve job service does exactly
+// that with a pool of engines, sharing only the concurrency-safe pieces (the
+// metrics registry and the shared PlanCache) across them.
 type Engine struct {
 	planner   Planner
 	cluster   *dist.Cluster
@@ -201,6 +210,11 @@ type Engine struct {
 	planCache map[*expr.Program]planCacheEntry
 	cacheHits int
 	cacheMiss int
+	// shared, when set, is a plan cache shared across engines: keyed by the
+	// full plan signature (program structure + session signature), it lets
+	// this engine reuse plans generated by other engines for structurally
+	// identical programs — the cross-job layer of the serve subsystem.
+	shared *PlanCache
 	// tracer and metrics observe execution when set (SetObserver); both are
 	// valid nil (no-op) receivers.
 	tracer  *obs.Tracer
@@ -221,8 +235,29 @@ type planCacheEntry struct {
 }
 
 // PlanCacheStats reports how many Run calls reused a cached plan versus
-// regenerated one.
+// regenerated one. Plans served by a shared cache (SetSharedPlanCache) count
+// as hits: the engine did not regenerate them.
 func (e *Engine) PlanCacheStats() (hits, misses int) { return e.cacheHits, e.cacheMiss }
+
+// SetSharedPlanCache attaches a plan cache shared with other engines (nil
+// detaches). On a local plan-cache miss the engine consults it by full plan
+// signature before regenerating, and publishes freshly generated plans into
+// it. The cache is safe for concurrent use, so one PlanCache may back a whole
+// pool of engines.
+func (e *Engine) SetSharedPlanCache(pc *PlanCache) { e.shared = pc }
+
+// Reset clears the session for reuse by an unrelated job: bound variables,
+// driver scalars, the pointer-keyed plan cache (finished jobs' Program
+// objects would otherwise pin plans forever), and the base context installed
+// by the previous owner. The cluster, observers, ablation flags, checkpoint
+// configuration and the shared plan cache survive — they are the engine's
+// infrastructure, not session state.
+func (e *Engine) Reset() {
+	e.vars = make(map[string]*varState)
+	e.scalars = make(map[string]float64)
+	e.planCache = nil
+	e.baseCtx = nil
+}
 
 // planSignature captures everything outside the program that plan
 // generation depends on: the cached schemes of the variables the program
@@ -421,47 +456,77 @@ func (e *Engine) RunCtx(ctx context.Context, p *expr.Program, params map[string]
 	}
 	sig := e.planSignature(p)
 	var plan *core.Plan
-	cached := false
+	source := "miss"
 	if entry, ok := e.planCache[p]; ok && entry.sig == sig {
 		plan = entry.plan
 		e.cacheHits++
-		cached = true
+		source = "hit"
 		e.metrics.Counter("plan.cache.hits").Inc()
 	} else {
-		var err error
-		cfg := e.planConfig()
-		switch e.planner {
-		case DMac:
-			plan, err = core.Generate(p, cfg)
-		case SystemMLS:
-			plan, err = core.GenerateSystemMLS(p, cfg)
-		default:
-			return Metrics{}, fmt.Errorf("engine: unknown planner %d", e.planner)
+		// On a local miss, try the shared cache before regenerating: another
+		// engine may have planned a structurally identical program already.
+		fullSig := ""
+		if e.shared != nil {
+			fullSig = ProgramSignature(p) + "|" + sig
+			plan = e.shared.Get(fullSig)
 		}
-		if err != nil {
-			return Metrics{}, err
-		}
-		if err := plan.Check(); err != nil {
-			return Metrics{}, err
+		if plan != nil {
+			e.cacheHits++
+			source = "shared"
+			e.metrics.Counter("plan.cache.hits").Inc()
+			e.metrics.Counter("plan.cache.shared.hits").Inc()
+		} else {
+			var err error
+			cfg := e.planConfig()
+			switch e.planner {
+			case DMac:
+				plan, err = core.Generate(p, cfg)
+			case SystemMLS:
+				plan, err = core.GenerateSystemMLS(p, cfg)
+			default:
+				return Metrics{}, fmt.Errorf("engine: unknown planner %d", e.planner)
+			}
+			if err != nil {
+				return Metrics{}, err
+			}
+			if err := plan.Check(); err != nil {
+				return Metrics{}, err
+			}
+			e.cacheMiss++
+			e.metrics.Counter("plan.cache.misses").Inc()
+			if e.shared != nil {
+				e.shared.Put(fullSig, plan)
+				e.metrics.Counter("plan.cache.shared.misses").Inc()
+			}
 		}
 		if e.planCache == nil {
 			e.planCache = make(map[*expr.Program]planCacheEntry)
 		}
 		e.planCache[p] = planCacheEntry{sig: sig, plan: plan}
-		e.cacheMiss++
-		e.metrics.Counter("plan.cache.misses").Inc()
 	}
 	before := e.cluster.Net().Snapshot()
-	runSpan := e.tracer.Start("engine", "run", 0,
+	// The run span parents under the tracer's current scope, so a caller that
+	// wraps runs in its own span (the serve job service's per-job root span)
+	// gets the engine's whole stage tree under it; with no scope set the run
+	// stays a root span as before.
+	runSpan := e.tracer.Start("engine", "run", e.tracer.Scope(),
 		obs.String("planner", e.planner.String()),
 		obs.Int64("stages", int64(plan.Stages)),
 		obs.Int64("ops", int64(len(plan.Ops))),
-		obs.String("plan_cache", map[bool]string{true: "hit", false: "miss"}[cached]))
+		obs.String("plan_cache", source))
 	prevScope := e.tracer.SetScope(runSpan)
 	start := time.Now()
 	stats, err := e.execute(ctx, plan, sig, params)
 	e.tracer.SetScope(prevScope)
 	if err != nil {
+		// A run aborted by its context must surface as that context's error:
+		// callers (the serve job service above all) discriminate cancellation
+		// from genuine stage failures with errors.Is. Most abort paths already
+		// propagate ctx.Err() wrapped; this catches any that replaced it with
+		// a stage-failure message.
+		if cerr := ctx.Err(); cerr != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("engine: run aborted (%v): %w", err, cerr)
+		}
 		e.tracer.End(runSpan, obs.String("error", err.Error()))
 		return Metrics{}, err
 	}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dmac/internal/matrix"
+)
+
+// TestEngineReuseAcrossJobs is the engine-reuse regression test: a session
+// that ran one job, was Reset, and was re-bound for an unrelated job must
+// behave exactly like a fresh engine — no stale variables, scalars, plans or
+// base context may leak from the first job into the second.
+func TestEngineReuseAcrossJobs(t *testing.T) {
+	reused := New(DMac, testConfig(), tBS)
+	bindGNMF(t, reused)
+	prog := gnmfProgram(0.3)
+	if _, err := reused.Run(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the session with everything a sloppy pool would leak: a scalar,
+	// a cancelled base context, and the (pointer-keyed) plan cache warmed.
+	reused.SetScalar("leak", 123)
+	poisoned, cancel := context.WithCancel(context.Background())
+	cancel()
+	reused.SetBaseContext(poisoned)
+
+	reused.Reset()
+
+	if _, ok := reused.Scalar("leak"); ok {
+		t.Error("Reset kept a driver scalar from the previous job")
+	}
+	if _, ok := reused.Grid("W"); ok {
+		t.Error("Reset kept a session variable from the previous job")
+	}
+	if hits, misses := reused.PlanCacheStats(); hits+misses == 0 {
+		t.Error("plan cache counters should survive Reset (they are engine stats, not session state)")
+	}
+
+	// Job two: different data under the same names. The reused engine must
+	// agree bit-for-bit with a fresh engine running only job two — and must
+	// not observe the poisoned base context.
+	fresh := New(DMac, testConfig(), tBS)
+	rng1, rng2 := rand.New(rand.NewSource(99)), rand.New(rand.NewSource(99))
+	for _, b := range []struct {
+		e   *Engine
+		rng *rand.Rand
+	}{{reused, rng1}, {fresh, rng2}} {
+		v := randSparseGrid(b.rng, tRows, tCols, tBS, 0.2)
+		w := randDenseGrid(b.rng, tRows, tK, tBS)
+		h := randDenseGrid(b.rng, tK, tCols, tBS)
+		for name, g := range map[string]*matrix.Grid{"V": v, "W": w, "H": h} {
+			if err := b.e.Bind(name, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	prog2 := gnmfProgram(0.2)
+	for i := 0; i < 2; i++ {
+		if _, err := reused.Run(prog2, nil); err != nil {
+			t.Fatalf("reused engine after Reset: %v", err)
+		}
+		if _, err := fresh.Run(prog2, nil); err != nil {
+			t.Fatalf("fresh engine: %v", err)
+		}
+	}
+	for _, name := range []string{"W", "H"} {
+		got, ok1 := reused.Grid(name)
+		want, ok2 := fresh.Grid(name)
+		if !ok1 || !ok2 || !matrix.GridEqual(got, want, 0) {
+			t.Errorf("%s diverged between reused and fresh engine", name)
+		}
+	}
+}
+
+// TestSharedPlanCacheAcrossEngines checks the cross-engine plan cache: a
+// second engine submitting a structurally identical but freshly built program
+// reuses the first engine's plan (no regeneration) and still computes
+// bit-identical results.
+func TestSharedPlanCacheAcrossEngines(t *testing.T) {
+	shared := NewPlanCache(16)
+	run := func(e *Engine) {
+		t.Helper()
+		bindGNMF(t, e)
+		if _, err := e.Run(gnmfProgram(0.3), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1 := New(DMac, testConfig(), tBS)
+	e1.SetSharedPlanCache(shared)
+	run(e1)
+	if _, misses, _ := shared.Stats(); misses == 0 {
+		t.Fatal("first engine should miss the shared cache")
+	}
+
+	e2 := New(DMac, testConfig(), tBS)
+	e2.SetSharedPlanCache(shared)
+	run(e2)
+	hits, _, entries := shared.Stats()
+	if hits == 0 {
+		t.Error("second engine should hit the shared cache for an identical program")
+	}
+	if entries == 0 {
+		t.Error("shared cache should hold entries")
+	}
+	if h2, m2 := e2.PlanCacheStats(); h2 == 0 || m2 != 0 {
+		t.Errorf("second engine PlanCacheStats = (%d, %d), want shared hit and no regeneration", h2, m2)
+	}
+
+	// Differential: shared-plan execution matches an isolated engine.
+	solo := New(DMac, testConfig(), tBS)
+	run(solo)
+	for _, name := range []string{"W", "H"} {
+		got, ok1 := e2.Grid(name)
+		want, ok2 := solo.Grid(name)
+		if !ok1 || !ok2 || !matrix.GridEqual(got, want, 0) {
+			t.Errorf("%s diverged under the shared plan cache", name)
+		}
+	}
+}
+
+// TestProgramSignatureDiscriminates pins the signature's sensitivity: a
+// rebuilt identical program shares it, while changed shapes, constants or
+// assignment names do not.
+func TestProgramSignatureDiscriminates(t *testing.T) {
+	base := ProgramSignature(gnmfProgram(0.3))
+	if got := ProgramSignature(gnmfProgram(0.3)); got != base {
+		t.Error("identical rebuild changed the signature")
+	}
+	if got := ProgramSignature(gnmfProgram(0.5)); got == base {
+		t.Error("sparsity change kept the signature")
+	}
+}
+
+// TestRunCtxCancelSurfacesCanceled covers cancellation propagation: a job
+// cancelled while its multi-stage program runs must fail with an error that
+// wraps context.Canceled, not a bare stage failure — that is how callers
+// (the serve job service) distinguish a cancel from a genuine fault.
+func TestRunCtxCancelSurfacesCanceled(t *testing.T) {
+	e := New(DMac, testConfig(), tBS)
+	bindGNMF(t, e)
+	prog := gnmfProgram(0.3)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	var err error
+	for i := 0; i < 100000; i++ {
+		if _, err = e.RunCtx(ctx, prog, nil); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("run never observed the cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want an error wrapping context.Canceled", err)
+	}
+
+	// An already-expired deadline surfaces the same way.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := e.RunCtx(dctx, prog, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline returned %v, want context.DeadlineExceeded", err)
+	}
+}

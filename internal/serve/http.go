@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dmac/internal/matrix"
+	"dmac/internal/workload"
+)
+
+// SubmitRequest is the POST /v1/jobs body. Only registry workloads are
+// submittable over HTTP; programmatic jobs are an in-process API.
+type SubmitRequest struct {
+	Tenant      string             `json:"tenant"`
+	Workload    string             `json:"workload"`
+	Params      map[string]float64 `json:"params,omitempty"`
+	Priority    int                `json:"priority,omitempty"`
+	DeadlineSec float64            `json:"deadline_sec,omitempty"`
+}
+
+// OutputSummary describes one result grid without shipping its blocks:
+// enough for a client to sanity-check a result (and for small outputs, the
+// dense cells themselves).
+type OutputSummary struct {
+	Rows int     `json:"rows"`
+	Cols int     `json:"cols"`
+	NNZ  int     `json:"nnz"`
+	Sum  float64 `json:"sum"`
+	// Data is the row-major dense content, included only when the grid has
+	// at most maxInlineCells cells.
+	Data []float64 `json:"data,omitempty"`
+}
+
+const maxInlineCells = 4096
+
+// JobResponse is the job payload for submit/status/cancel responses; Outputs
+// is populated for terminal jobs when the result is requested.
+type JobResponse struct {
+	JobStatus
+	Outputs map[string]OutputSummary `json:"outputs,omitempty"`
+}
+
+type errorResponse struct {
+	Error         string  `json:"error"`
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs      submit a registry workload
+//	GET    /v1/jobs/{id} job status (?include=result adds output summaries)
+//	DELETE /v1/jobs/{id} cancel
+//	GET    /v1/stats     service statistics
+//	GET    /v1/workloads registered workloads
+//	GET    /healthz      liveness (503 while draining)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		type wl struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		}
+		var list []wl
+		for _, name := range s.Registry().Names() {
+			e, _ := s.Registry().Lookup(name)
+			list = append(list, wl{Name: e.Name, Description: e.Description})
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.Workload == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "workload is required"})
+		return
+	}
+	st, err := s.Submit(JobSpec{
+		Tenant:   req.Tenant,
+		Workload: req.Workload,
+		Params:   workload.Params(req.Params),
+		Priority: req.Priority,
+		Deadline: time.Duration(req.DeadlineSec * float64(time.Second)),
+	})
+	if err != nil {
+		var rej *Rejection
+		if errors.As(err, &rej) {
+			code := http.StatusTooManyRequests
+			if !rej.Retryable {
+				if rej.Reason == "service draining" {
+					code = http.StatusServiceUnavailable
+				} else {
+					code = http.StatusForbidden
+				}
+			}
+			if rej.RetryAfter > 0 {
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(rej.RetryAfter.Seconds())+1))
+			}
+			writeJSON(w, code, errorResponse{Error: rej.Error(), RetryAfterSec: rej.RetryAfter.Seconds()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, JobResponse{JobStatus: st})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Status(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := JobResponse{JobStatus: st}
+	if r.URL.Query().Get("include") == "result" && st.State == StateDone {
+		if res, err := s.Result(id); err == nil {
+			resp.Outputs = make(map[string]OutputSummary, len(res.Grids))
+			for name, g := range res.Grids {
+				resp.Outputs[name] = summarize(g)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{JobStatus: st})
+}
+
+func summarize(g *matrix.Grid) OutputSummary {
+	o := OutputSummary{Rows: g.Rows(), Cols: g.Cols(), NNZ: g.NNZ(), Sum: matrix.SumGrid(g)}
+	if g.Rows()*g.Cols() <= maxInlineCells {
+		o.Data = g.ToDense()
+	}
+	return o
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
