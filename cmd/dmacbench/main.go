@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | chaos | checkpoint | all")
+	exp := flag.String("exp", "all", "experiment: fig6 | fig7 | fig8 | fig9a | fig9b | fig10ab | fig10cd | table3 | table4 | ablation | chaos | checkpoint | rewrite | all")
 	iters := flag.Int("iters", 10, "iterations for iterative workloads")
 	scale := flag.Int("scale", 40, "Netflix scale denominator for fig6/table4")
 	graph := flag.String("graph", "soc-pokec", "graph for fig8")
@@ -47,6 +47,7 @@ func main() {
 	serveSlots := flag.Int("serve-slots", 3, "with -serve, engine pool size")
 	serveSeed := flag.Int64("serve-seed", 1, "with -serve, workload-mix seed")
 	serveOut := flag.String("serve-out", "", "with -serve, also write the report JSON to this path")
+	rewriteOut := flag.String("rewrite-out", "", "with -exp rewrite, also write the A/B report JSON to this path")
 	flag.Parse()
 
 	// Validate the sweep's fault plans up front: a malformed plan should die
@@ -181,6 +182,11 @@ func main() {
 	})
 	run("chaos", func() error {
 		return bench.Chaos(w, chaosOpts)
+	})
+	run("rewrite", func() error {
+		return bench.Rewrite(w, 3, *rewriteOut, func(path string, data []byte) error {
+			return os.WriteFile(path, data, 0o644)
+		})
 	})
 	run("checkpoint", func() error {
 		dir := *checkpointDir

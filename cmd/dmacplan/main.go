@@ -19,6 +19,7 @@ import (
 	"dmac/internal/dep"
 	"dmac/internal/expr"
 	"dmac/internal/matrix"
+	"dmac/internal/rewrite"
 )
 
 func main() {
@@ -26,11 +27,21 @@ func main() {
 	planner := flag.String("planner", "dmac", "planner: dmac | systemml")
 	workers := flag.Int("workers", 4, "cluster workers (N)")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the table")
+	doRewrite := flag.Bool("rewrite", false, "run the algebraic rewrite pass before planning and print its decisions")
 	flag.Parse()
 
 	prog, vars, err := buildProgram(*app)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *doRewrite {
+		res, err := rewrite.New().Rewrite(prog)
+		if err != nil {
+			log.Fatalf("rewrite: %v", err)
+		}
+		fmt.Printf("rewrite decisions (cost %.4g -> %.4g):\n%s\n",
+			res.CostBefore, res.CostAfter, rewrite.FormatDecisions(res.Decisions))
+		prog = res.Program
 	}
 	cfg := core.Config{Workers: *workers, Vars: vars}
 	var plan *core.Plan

@@ -26,6 +26,7 @@ func main() {
 	k := flag.Int("k", 32, "factor size / rank where applicable")
 	timeout := flag.Duration("timeout", 0, "deadline for the whole run (0 = none); the engine aborts cleanly between stages and block tasks")
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint session values into this directory (interval 1); recovery after injected or simulated failures restores snapshots instead of replaying lineage")
+	noRewrite := flag.Bool("no-rewrite", false, "disable the algebraic rewrite pass (chain reordering, transpose pushdown, identity folding) that runs before planning")
 	tracePath := flag.String("trace", "", "write a Chrome trace JSON of the run to this path")
 	metricsPath := flag.String("metrics-out", "", "write the metrics registry dump to this path")
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 		defer cancel()
 	}
 
-	res, err := run(ctx, *app, planner, *iters, *scale, *workers, *k, *checkpointDir, tracer, registry)
+	res, err := run(ctx, *app, planner, *iters, *scale, *workers, *k, *checkpointDir, !*noRewrite, tracer, registry)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,11 +101,14 @@ func writeFile(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
-func run(ctx context.Context, app string, planner dmac.Planner, iters, scale, workers, k int, checkpointDir string, tracer *dmac.Tracer, registry *dmac.MetricsRegistry) (*dmac.AppResult, error) {
+func run(ctx context.Context, app string, planner dmac.Planner, iters, scale, workers, k int, checkpointDir string, rewrite bool, tracer *dmac.Tracer, registry *dmac.MetricsRegistry) (*dmac.AppResult, error) {
 	cfg := dmac.ClusterConfig{Workers: workers, LocalParallelism: 8}
 	newSession := func(bs int) *dmac.Session {
 		s := dmac.NewSession(planner, cfg, bs)
 		s.SetBaseContext(ctx)
+		if rewrite {
+			s.SetRewriter(dmac.NewRewriter())
+		}
 		if checkpointDir != "" {
 			if err := s.SetCheckpoint(checkpointDir, dmac.CheckpointPolicy{Interval: 1}); err != nil {
 				log.Fatalf("checkpoint: %v", err)

@@ -45,6 +45,7 @@ func main() {
 	maxBytes := flag.Int64("tenant-bytes", 256<<20, "default per-tenant estimated-memory quota for running jobs")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-job run deadline")
 	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "how long a shutdown waits for queued and running jobs")
+	noRewrite := flag.Bool("no-rewrite", false, "disable the algebraic rewrite pass that every engine slot runs before planning")
 	checkpointDir := flag.String("checkpoint-dir", "", "per-slot per-stage checkpoints under this directory (forced shutdowns leave flushed snapshots)")
 	metricsPath := flag.String("metrics-out", "", "write the metrics registry dump to this path on exit")
 	flag.Parse()
@@ -72,6 +73,7 @@ func main() {
 		DefaultDeadline: *deadline,
 		Metrics:         registry,
 		CheckpointDir:   *checkpointDir,
+		DisableRewrite:  *noRewrite,
 	})
 	if err != nil {
 		log.Fatalf("dmacserve: %v", err)

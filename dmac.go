@@ -36,6 +36,7 @@ import (
 	"dmac/internal/expr"
 	"dmac/internal/matrix"
 	"dmac/internal/obs"
+	"dmac/internal/rewrite"
 	"dmac/internal/sched"
 	"dmac/internal/workload"
 )
@@ -94,6 +95,23 @@ type (
 	// TraceSpan is one recorded span of a Tracer.
 	TraceSpan = obs.Span
 )
+
+// Rewriter is the algebraic rewrite pass a session runs before planning
+// (chain reordering, transpose pushdown, identity folding, sparsity
+// refinement); attach with Session.SetRewriter.
+type Rewriter = rewrite.Rewriter
+
+// RewriterConfig selectively disables individual rewrite rules (see
+// NewRewriterWithConfig); the zero value enables everything.
+type RewriterConfig = rewrite.Config
+
+// NewRewriter returns a rewriter with every rule enabled for
+// Session.SetRewriter.
+func NewRewriter() *Rewriter { return rewrite.New() }
+
+// NewRewriterWithConfig returns a rewriter with the configured rules
+// disabled.
+func NewRewriterWithConfig(cfg RewriterConfig) *Rewriter { return rewrite.NewWithConfig(cfg) }
 
 // NewTracer returns an enabled execution tracer for Session.SetObserver.
 func NewTracer() *Tracer { return obs.NewTracer() }

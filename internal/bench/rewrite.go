@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dmac/internal/engine"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+	"dmac/internal/obs"
+	"dmac/internal/rewrite"
+	"dmac/internal/workload"
+)
+
+// RewriteRow is one workload of the rewrite A/B experiment: the same program
+// executed with the algebraic rewrite pass detached and attached, plus the
+// pass's own predictions so the report can compare predicted against
+// measured savings.
+type RewriteRow struct {
+	Workload string `json:"workload"`
+
+	// Measured, summed over all iterations.
+	OffModelSec  float64 `json:"off_model_sec"`
+	OnModelSec   float64 `json:"on_model_sec"`
+	OffCommBytes int64   `json:"off_comm_bytes"`
+	OnCommBytes  int64   `json:"on_comm_bytes"`
+	OffFLOPs     float64 `json:"off_flops"`
+	OnFLOPs      float64 `json:"on_flops"`
+
+	// Predicted by the rewriter's cost model for one rewrite of the program.
+	RewritesApplied     int64   `json:"rewrites_applied"`
+	PredictedFLOPsSaved float64 `json:"predicted_flops_saved"`
+	PredictedBytesSaved int64   `json:"predicted_bytes_saved"`
+}
+
+// MeasuredFLOPsSaved is the per-iteration measured FLOP reduction.
+func (r RewriteRow) MeasuredFLOPsSaved(iters int) float64 {
+	if iters <= 0 {
+		iters = 1
+	}
+	return (r.OffFLOPs - r.OnFLOPs) / float64(iters)
+}
+
+// RewriteReport is the JSON artifact of `dmacbench -exp rewrite`.
+type RewriteReport struct {
+	Iterations int          `json:"iterations"`
+	Workers    int          `json:"workers"`
+	Rows       []RewriteRow `json:"rows"`
+}
+
+type rewriteLeaf struct {
+	name       string
+	rows, cols int
+	sparsity   float64
+}
+
+type rewriteCase struct {
+	name      string
+	blockSize int
+	leaves    []rewriteLeaf
+	build     func() *expr.Program
+}
+
+// rewriteCases are the A/B workloads. The matrix-chain case is the headline:
+// a left-associated chain whose interior explodes unless reordered. The
+// pushdown case reads a product only transposed, gram is the t(V)V kernel,
+// and gnmf-micro is a GNMF H-update step (a regression guard: the rewriter
+// only refines sparsity estimates there — structure and measured cost must
+// not change).
+func rewriteCases() []rewriteCase {
+	return []rewriteCase{
+		{
+			name:      "matrix-chain",
+			blockSize: 32,
+			leaves: []rewriteLeaf{
+				{"A", 768, 24, 1}, {"B", 24, 768, 1}, {"C", 768, 24, 1}, {"D", 24, 96, 1},
+			},
+			build: func() *expr.Program {
+				p := expr.NewProgram()
+				a, b := p.Var("A", 768, 24, 1), p.Var("B", 24, 768, 1)
+				c, d := p.Var("C", 768, 24, 1), p.Var("D", 24, 96, 1)
+				p.Assign("out", p.Mul(p.Mul(p.Mul(a, b), c), d))
+				return p
+			},
+		},
+		{
+			name:      "transpose-pushdown",
+			blockSize: 32,
+			leaves: []rewriteLeaf{
+				{"A", 512, 32, 1}, {"B", 32, 512, 1}, {"C", 512, 64, 1},
+			},
+			build: func() *expr.Program {
+				p := expr.NewProgram()
+				a, b := p.Var("A", 512, 32, 1), p.Var("B", 32, 512, 1)
+				c := p.Var("C", 512, 64, 1)
+				ab := p.Mul(a, b)
+				p.Assign("out", p.Mul(ab.T(), c))
+				return p
+			},
+		},
+		{
+			name:      "gram",
+			blockSize: 32,
+			leaves: []rewriteLeaf{
+				{"V", 512, 96, 0.1},
+			},
+			build: func() *expr.Program {
+				p := expr.NewProgram()
+				v := p.Var("V", 512, 96, 0.1)
+				g := p.Mul(v.T(), v)
+				p.Sum("gram_sum", g)
+				p.Assign("G", g)
+				return p
+			},
+		},
+		{
+			name:      "gnmf-micro",
+			blockSize: 16,
+			leaves: []rewriteLeaf{
+				{"V", 160, 240, 0.05}, {"W", 160, 12, 1}, {"H", 12, 240, 1},
+			},
+			build: func() *expr.Program {
+				p := expr.NewProgram()
+				v := p.Var("V", 160, 240, 0.05)
+				w := p.Var("W", 160, 12, 1)
+				h := p.Var("H", 12, 240, 1)
+				num := p.Mul(w.T(), v)
+				den := p.Mul(p.Mul(w.T(), w), h)
+				p.Assign("H", p.CellDiv(p.CellMul(h, num), den))
+				return p
+			},
+		},
+	}
+}
+
+// RunRewrite executes every A/B workload iters times with the rewrite pass
+// off and on, verifies both configurations produce the same outputs, and
+// reports measured cost next to the rewriter's predictions.
+func RunRewrite(iters int) (*RewriteReport, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	rep := &RewriteReport{Iterations: iters, Workers: DefaultWorkers}
+	for _, tc := range rewriteCases() {
+		row := RewriteRow{Workload: tc.name}
+		outputs := make(map[bool]map[string]*matrix.Grid)
+		for _, on := range []bool{false, true} {
+			reg := obs.NewRegistry()
+			e := newEngine(engine.DMac, DefaultWorkers, tc.blockSize)
+			e.SetObserver(nil, reg)
+			if on {
+				e.SetRewriter(rewrite.New())
+			}
+			seed := int64(301)
+			for _, leaf := range tc.leaves {
+				var g *matrix.Grid
+				if leaf.sparsity < 1 {
+					g = workload.SparseUniform(seed, leaf.rows, leaf.cols, tc.blockSize, leaf.sparsity)
+				} else {
+					g = workload.DenseRandom(seed, leaf.rows, leaf.cols, tc.blockSize)
+				}
+				if err := e.Bind(leaf.name, g); err != nil {
+					return nil, fmt.Errorf("bench: rewrite %s: %w", tc.name, err)
+				}
+				seed++
+			}
+			prog := tc.build()
+			for it := 0; it < iters; it++ {
+				m, err := e.Run(prog, nil)
+				if err != nil {
+					return nil, fmt.Errorf("bench: rewrite %s (on=%v): %w", tc.name, on, err)
+				}
+				if on {
+					row.OnModelSec += m.ModelSeconds
+					row.OnCommBytes += m.CommBytes
+					row.OnFLOPs += m.FLOPs
+				} else {
+					row.OffModelSec += m.ModelSeconds
+					row.OffCommBytes += m.CommBytes
+					row.OffFLOPs += m.FLOPs
+				}
+			}
+			outputs[on] = make(map[string]*matrix.Grid)
+			for _, a := range prog.Assignments() {
+				if g, ok := e.Grid(a.Name); ok {
+					outputs[on][a.Name] = g
+				}
+			}
+			if on {
+				snap := reg.Snapshot()
+				row.RewritesApplied = snap.Counters["rewrite.applied"]
+				row.PredictedFLOPsSaved = float64(snap.Counters["rewrite.predicted.flops_saved"])
+				row.PredictedBytesSaved = snap.Counters["rewrite.predicted.bytes_saved"]
+			}
+		}
+		for name, off := range outputs[false] {
+			on, ok := outputs[true][name]
+			if !ok || !matrix.GridEqual(off, on, 1e-9) {
+				return nil, fmt.Errorf("bench: rewrite %s: output %q differs between off and on runs", tc.name, name)
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// Rewrite runs the A/B experiment, renders the comparison table and
+// optionally writes the JSON artifact (BENCH_rewrite.json in CI).
+func Rewrite(w io.Writer, iters int, jsonPath string, writeFile func(string, []byte) error) error {
+	rep, err := RunRewrite(iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# rewrite A/B: %d iterations, %d workers (off = pass detached, on = pass attached)\n",
+		rep.Iterations, rep.Workers)
+	rows := make([][]string, 0, len(rep.Rows))
+	for _, r := range rep.Rows {
+		rows = append(rows, []string{
+			r.Workload,
+			fmt.Sprintf("%.4f", r.OffModelSec),
+			fmt.Sprintf("%.4f", r.OnModelSec),
+			fmt.Sprintf("%.3f", gb(r.OffCommBytes)),
+			fmt.Sprintf("%.3f", gb(r.OnCommBytes)),
+			fmt.Sprintf("%d", r.RewritesApplied),
+			fmt.Sprintf("%.3g", r.PredictedFLOPsSaved),
+			fmt.Sprintf("%.3g", r.MeasuredFLOPsSaved(rep.Iterations)),
+		})
+	}
+	writeTable(w, []string{
+		"workload", "off model s", "on model s", "off comm GB", "on comm GB",
+		"rewrites", "pred FLOPs saved", "meas FLOPs saved",
+	}, rows)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(jsonPath, append(data, '\n')); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The A/B experiment must show the rewrite pass paying off on the structural
+// workloads and costing nothing on the no-op workload, with its predicted
+// FLOP savings matching the measured deltas.
+func TestRunRewriteShapes(t *testing.T) {
+	rep, err := RunRewrite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]RewriteRow, len(rep.Rows))
+	for _, r := range rep.Rows {
+		rows[r.Workload] = r
+	}
+	for _, name := range []string{"matrix-chain", "transpose-pushdown"} {
+		r, ok := rows[name]
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		if r.OnFLOPs >= r.OffFLOPs {
+			t.Errorf("%s: rewrite did not reduce FLOPs: %g -> %g", name, r.OffFLOPs, r.OnFLOPs)
+		}
+		if r.OnModelSec >= r.OffModelSec {
+			t.Errorf("%s: rewrite did not reduce modelled time: %g -> %g", name, r.OffModelSec, r.OnModelSec)
+		}
+		if r.RewritesApplied == 0 {
+			t.Errorf("%s: no rewrites recorded", name)
+		}
+		meas := r.MeasuredFLOPsSaved(rep.Iterations)
+		if pred := r.PredictedFLOPsSaved; pred < 0.5*meas || pred > 2*meas {
+			t.Errorf("%s: predicted FLOP savings %g far from measured %g", name, pred, meas)
+		}
+	}
+	if r := rows["gnmf-micro"]; r.OnFLOPs != r.OffFLOPs {
+		t.Errorf("gnmf-micro: rewrite changed FLOPs on a structurally fixed program: %g -> %g",
+			r.OffFLOPs, r.OnFLOPs)
+	}
+}
+
+func TestRewriteReportRendering(t *testing.T) {
+	var buf bytes.Buffer
+	var wrotePath string
+	err := Rewrite(&buf, 1, "out.json", func(path string, data []byte) error {
+		wrotePath = path
+		if !bytes.Contains(data, []byte(`"matrix-chain"`)) {
+			t.Error("JSON artifact missing workload rows")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrotePath != "out.json" {
+		t.Errorf("wrote %q, want out.json", wrotePath)
+	}
+	out := buf.String()
+	for _, want := range []string{"rewrite A/B", "matrix-chain", "pred FLOPs saved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

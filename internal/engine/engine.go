@@ -29,6 +29,7 @@ import (
 	"dmac/internal/expr"
 	"dmac/internal/matrix"
 	"dmac/internal/obs"
+	"dmac/internal/rewrite"
 )
 
 // Planner selects the planning mode of an engine.
@@ -219,6 +220,11 @@ type Engine struct {
 	// valid nil (no-op) receivers.
 	tracer  *obs.Tracer
 	metrics *obs.Registry
+	// rewriter, when set, canonicalizes every program through the algebraic
+	// rewrite pass before planning and execution (SetRewriter); rewriteCache
+	// memoizes its output per Program pointer, mirroring planCache.
+	rewriter     *rewrite.Rewriter
+	rewriteCache map[*expr.Program]*rewrite.Result
 	// ckpt is the engine's checkpoint manager (nil without SetCheckpoint):
 	// runs snapshot live values to disk under its policy and recover from the
 	// newest valid snapshot instead of replaying the whole lineage.
@@ -256,15 +262,80 @@ func (e *Engine) Reset() {
 	e.vars = make(map[string]*varState)
 	e.scalars = make(map[string]float64)
 	e.planCache = nil
+	e.rewriteCache = nil
 	e.baseCtx = nil
+}
+
+// SetRewriter attaches (or with nil, detaches) the algebraic rewrite pass:
+// every program handed to Run/RunCtx/Plan is rewritten first, and planning,
+// caching and execution all see the rewritten program. Changing the rewriter
+// invalidates cached plans and rewrites.
+func (e *Engine) SetRewriter(r *rewrite.Rewriter) {
+	e.rewriter = r
+	e.planCache = nil
+	e.rewriteCache = nil
+}
+
+// Rewriter returns the attached rewriter (nil when rewriting is off).
+func (e *Engine) Rewriter() *rewrite.Rewriter { return e.rewriter }
+
+// rewritten resolves the program the engine actually plans and executes:
+// the input itself without a rewriter, otherwise the memoized output of the
+// rewrite pass. On a fresh rewrite it records the decisions as span events
+// under an "engine/rewrite" span and feeds the rewrite counters. A rewrite
+// failure (a rewriter bug, not a user error) falls back to the unrewritten
+// program rather than failing the run.
+func (e *Engine) rewritten(p *expr.Program) *expr.Program {
+	if e.rewriter == nil {
+		return p
+	}
+	if res, ok := e.rewriteCache[p]; ok {
+		return res.Program
+	}
+	span := e.tracer.Start("engine", "rewrite", e.tracer.Scope())
+	res, err := e.rewriter.Rewrite(p)
+	if err != nil {
+		e.metrics.Counter("rewrite.errors").Inc()
+		e.tracer.End(span, obs.String("error", err.Error()))
+		res = &rewrite.Result{Program: p}
+	} else {
+		for _, d := range res.Decisions {
+			e.tracer.Event("rewrite", d.Rule, span,
+				obs.String("node", d.Node),
+				obs.String("detail", d.Detail),
+				obs.Float64("flops_saved", d.FLOPsSaved),
+				obs.Int64("bytes_saved", d.BytesSaved))
+			e.metrics.Counter("rewrite.applied").Inc()
+			e.metrics.Counter("rewrite.applied." + d.Rule).Inc()
+		}
+		e.metrics.Counter("rewrite.programs").Inc()
+		e.metrics.Counter("rewrite.predicted.flops_saved").Add(int64(res.FLOPsSaved()))
+		e.metrics.Counter("rewrite.predicted.bytes_saved").Add(res.BytesSaved())
+		e.tracer.End(span,
+			obs.Int64("applied", int64(len(res.Decisions))),
+			obs.Float64("cost_before", res.CostBefore),
+			obs.Float64("cost_after", res.CostAfter))
+	}
+	if e.rewriteCache == nil {
+		e.rewriteCache = make(map[*expr.Program]*rewrite.Result)
+	}
+	e.rewriteCache[p] = res
+	return res.Program
 }
 
 // planSignature captures everything outside the program that plan
 // generation depends on: the cached schemes of the variables the program
-// reads, the worker count, and the ablation flags.
+// reads, the worker count, the ablation flags, and whether (and under which
+// rule version) the rewrite pass canonicalized the program — so an engine
+// with rewriting off can never be served a plan cached for the rewritten
+// form, or vice versa.
 func (e *Engine) planSignature(p *expr.Program) string {
+	rw := 0
+	if e.rewriter != nil {
+		rw = rewrite.Version
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "w=%d;pu=%v;ra=%v;cp=%v;", e.cluster.Workers(), e.disablePullUp, e.disableReassign, e.disableCPMM)
+	fmt.Fprintf(&b, "w=%d;pu=%v;ra=%v;cp=%v;rw=%d;", e.cluster.Workers(), e.disablePullUp, e.disableReassign, e.disableCPMM, rw)
 	for _, n := range p.Nodes() {
 		if n.Kind != expr.KindLoad && n.Kind != expr.KindVar {
 			continue
@@ -451,10 +522,15 @@ func (e *Engine) RunCtx(ctx context.Context, p *expr.Program, params map[string]
 	exec := e.cluster.Executor()
 	exec.SetContext(ctx)
 	defer exec.SetContext(nil)
+	// The rewrite pass (when attached) canonicalizes the program first;
+	// everything downstream — the local interpreter, plan generation, both
+	// plan caches and execution — sees the rewritten program. Caches stay
+	// keyed by the caller's Program pointer.
+	rp := e.rewritten(p)
 	if e.planner == Local {
-		return e.runLocal(p, params)
+		return e.runLocal(rp, params)
 	}
-	sig := e.planSignature(p)
+	sig := e.planSignature(rp)
 	var plan *core.Plan
 	source := "miss"
 	if entry, ok := e.planCache[p]; ok && entry.sig == sig {
@@ -465,9 +541,11 @@ func (e *Engine) RunCtx(ctx context.Context, p *expr.Program, params map[string]
 	} else {
 		// On a local miss, try the shared cache before regenerating: another
 		// engine may have planned a structurally identical program already.
+		// The shared key uses the canonical *rewritten* program, so
+		// equivalent-but-differently-written jobs converge on one entry.
 		fullSig := ""
 		if e.shared != nil {
-			fullSig = ProgramSignature(p) + "|" + sig
+			fullSig = ProgramSignature(rp) + "|" + sig
 			plan = e.shared.Get(fullSig)
 		}
 		if plan != nil {
@@ -480,9 +558,9 @@ func (e *Engine) RunCtx(ctx context.Context, p *expr.Program, params map[string]
 			cfg := e.planConfig()
 			switch e.planner {
 			case DMac:
-				plan, err = core.Generate(p, cfg)
+				plan, err = core.Generate(rp, cfg)
 			case SystemMLS:
-				plan, err = core.GenerateSystemMLS(p, cfg)
+				plan, err = core.GenerateSystemMLS(rp, cfg)
 			default:
 				return Metrics{}, fmt.Errorf("engine: unknown planner %d", e.planner)
 			}
@@ -538,13 +616,15 @@ func (e *Engine) RunCtx(ctx context.Context, p *expr.Program, params map[string]
 }
 
 // Plan returns the plan the engine would execute for a program against the
-// current session, without executing it (the dmacplan explain path).
+// current session, without executing it (the dmacplan explain path). Like
+// Run, it plans the rewritten program when a rewriter is attached.
 func (e *Engine) Plan(p *expr.Program) (*core.Plan, error) {
+	rp := e.rewritten(p)
 	switch e.planner {
 	case DMac:
-		return core.Generate(p, e.planConfig())
+		return core.Generate(rp, e.planConfig())
 	case SystemMLS:
-		return core.GenerateSystemMLS(p, e.planConfig())
+		return core.GenerateSystemMLS(rp, e.planConfig())
 	default:
 		return nil, fmt.Errorf("engine: planner %s has no distributed plan", e.planner)
 	}

@@ -8,7 +8,20 @@ import (
 
 	"dmac/internal/core"
 	"dmac/internal/expr"
+	"dmac/internal/rewrite"
 )
+
+// signaturePrefix versions every program signature. The "ps" component is
+// the serialization format; the "rw" component is the rewrite-pass rule
+// version (rewrite.Version). Because the shared plan cache keys on the
+// signature of the canonical *rewritten* program, a binary with a different
+// rewrite-rule set must never be served an entry produced under the old
+// canonical form — bumping either component makes every stale key miss.
+var signaturePrefix = fmt.Sprintf("ps1;rw%d|", rewrite.Version)
+
+// SignaturePrefix returns the version prefix of every ProgramSignature;
+// exported for cache-invalidation regression tests.
+func SignaturePrefix() string { return signaturePrefix }
 
 // ProgramSignature serializes the structure of a program into a canonical
 // string: every node in construction order with its kind, operands (with
@@ -22,6 +35,7 @@ import (
 // identical rebuilds and safe to embed.
 func ProgramSignature(p *expr.Program) string {
 	var b strings.Builder
+	b.WriteString(signaturePrefix)
 	ref := func(r expr.Ref) {
 		if r.Transposed {
 			fmt.Fprintf(&b, "m%dT", r.Node.ID)

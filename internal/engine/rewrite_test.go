@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"testing"
+
+	"dmac/internal/dist"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+	"dmac/internal/obs"
+	"dmac/internal/rewrite"
+	"dmac/internal/workload"
+)
+
+// rewriteWorkload exercises both structural rules: a product read only
+// transposed and a left-associated chain with a cheap interior.
+func rewriteWorkload() *expr.Program {
+	p := expr.NewProgram()
+	a := p.Var("A", 24, 6, 1)
+	b := p.Var("B", 6, 24, 1)
+	c := p.Var("C", 24, 10, 1)
+	ab := p.Mul(a, b)
+	p.Assign("pushdown", p.Mul(ab.T(), c))
+	g := p.Var("G", 40, 4, 1)
+	h := p.Var("H", 4, 40, 1)
+	i := p.Var("I", 40, 4, 1)
+	p.Assign("chain", p.Mul(p.Mul(g, h), i))
+	p.Sum("total", p.Mul(g, h))
+	return p
+}
+
+func bindRewriteLeaves(t *testing.T, e *Engine, bs int) {
+	t.Helper()
+	seed := int64(11)
+	for _, leaf := range []struct {
+		name       string
+		rows, cols int
+	}{{"A", 24, 6}, {"B", 6, 24}, {"C", 24, 10}, {"G", 40, 4}, {"H", 4, 40}, {"I", 40, 4}} {
+		if err := e.Bind(leaf.name, workload.DenseRandom(seed, leaf.rows, leaf.cols, bs)); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	}
+}
+
+// With and without the rewriter, the DMac engine computes the same outputs;
+// the rewriter-on engine records its decisions in the metrics registry.
+func TestEngineRewriterEquivalence(t *testing.T) {
+	const bs = 5
+	run := func(withRewriter bool) (*Engine, *obs.Registry) {
+		reg := obs.NewRegistry()
+		e := New(DMac, dist.Config{Workers: 3, LocalParallelism: 2}, bs)
+		e.SetObserver(nil, reg)
+		if withRewriter {
+			e.SetRewriter(rewrite.New())
+		}
+		bindRewriteLeaves(t, e, bs)
+		if _, err := e.Run(rewriteWorkload(), nil); err != nil {
+			t.Fatal(err)
+		}
+		return e, reg
+	}
+
+	plain, _ := run(false)
+	rewritten, reg := run(true)
+
+	for _, out := range []string{"pushdown", "chain"} {
+		gp, ok1 := plain.Grid(out)
+		gr, ok2 := rewritten.Grid(out)
+		if !ok1 || !ok2 {
+			t.Fatalf("output %s missing (plain=%v rewritten=%v)", out, ok1, ok2)
+		}
+		if !matrix.GridEqual(gp, gr, 1e-9) {
+			t.Errorf("output %s differs between plain and rewritten runs", out)
+		}
+	}
+	sp, _ := plain.Scalar("total")
+	sr, _ := rewritten.Scalar("total")
+	if diff := sp - sr; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("scalar total differs: %g vs %g", sp, sr)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["rewrite.programs"] == 0 {
+		t.Error("rewrite.programs counter not incremented")
+	}
+	if snap.Counters["rewrite.applied"] == 0 {
+		t.Error("rewrite.applied counter not incremented")
+	}
+	if snap.Counters["rewrite.applied."+rewrite.RuleTransposePushdown] == 0 {
+		t.Error("per-rule pushdown counter not incremented")
+	}
+	if snap.Counters["rewrite.predicted.flops_saved"] == 0 {
+		t.Error("predicted FLOP savings not recorded")
+	}
+}
+
+// Rewriting is memoized per program pointer: a second run of the same
+// *expr.Program must not re-run the pass, and SetRewriter/Reset clear the
+// memo.
+func TestEngineRewriteCacheReuse(t *testing.T) {
+	const bs = 5
+	reg := obs.NewRegistry()
+	e := New(DMac, dist.Config{Workers: 2, LocalParallelism: 2}, bs)
+	e.SetObserver(nil, reg)
+	e.SetRewriter(rewrite.New())
+	bindRewriteLeaves(t, e, bs)
+
+	p := rewriteWorkload()
+	if _, err := e.Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["rewrite.programs"]; got != 1 {
+		t.Fatalf("rewrite.programs = %d after first run, want 1", got)
+	}
+	if _, ok := e.rewriteCache[p]; !ok {
+		t.Fatal("rewrite result not memoized")
+	}
+	if _, err := e.Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["rewrite.programs"]; got != 1 {
+		t.Fatalf("rewrite.programs = %d after second run, want 1 (memoized)", got)
+	}
+	e.Reset()
+	if e.rewriteCache != nil {
+		t.Fatal("Reset did not clear the rewrite memo")
+	}
+	e.SetRewriter(nil)
+	if e.Rewriter() != nil {
+		t.Fatal("SetRewriter(nil) did not detach")
+	}
+	bindRewriteLeaves(t, e, bs)
+	if _, err := e.Run(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters["rewrite.programs"]; got != 1 {
+		t.Fatalf("detached engine still rewrote: rewrite.programs = %d", got)
+	}
+}
+
+// The Local planner goes through the same rewrite path.
+func TestLocalPlannerUsesRewriter(t *testing.T) {
+	const bs = 5
+	reg := obs.NewRegistry()
+	e := New(Local, dist.Config{Workers: 1, LocalParallelism: 1}, bs)
+	e.SetObserver(nil, reg)
+	e.SetRewriter(rewrite.New())
+	bindRewriteLeaves(t, e, bs)
+	if _, err := e.Run(rewriteWorkload(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Snapshot().Counters["rewrite.programs"] == 0 {
+		t.Error("Local planner bypassed the rewrite pass")
+	}
+	if _, ok := e.Grid("pushdown"); !ok {
+		t.Error("output missing after rewritten local run")
+	}
+}

@@ -182,6 +182,9 @@ func (p *Program) Validate() error {
 		if int(n.ID) != i {
 			return fmt.Errorf("expr: node %d has ID %d", i, n.ID)
 		}
+		if n.Rows <= 0 || n.Cols <= 0 {
+			return fmt.Errorf("expr: node %d has non-positive shape %dx%d", i, n.Rows, n.Cols)
+		}
 		for _, in := range n.Inputs {
 			if in.Node == nil {
 				return fmt.Errorf("expr: node %d has nil input", i)

@@ -1,0 +1,127 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"dmac/internal/matrix"
+)
+
+// A node must not read itself: the definition-order check catches it because
+// a node's own ID is not yet marked as seen while its inputs are validated.
+func TestValidateRejectsSelfReference(t *testing.T) {
+	p := NewProgram()
+	x := p.Var("X", 4, 4, 1)
+	x.Node.Inputs = []Ref{x}
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("expected error for self-referential node")
+	}
+	if !strings.Contains(err.Error(), "before it is defined") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// Reading a node defined later in the program is equally invalid.
+func TestValidateRejectsForwardReference(t *testing.T) {
+	p := NewProgram()
+	x := p.Var("X", 4, 4, 1)
+	y := p.Var("Y", 4, 4, 1)
+	x.Node.Inputs = []Ref{y}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for forward reference")
+	}
+}
+
+func TestValidateRejectsZeroDimShapes(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+	}{
+		{"zero-rows", 0, 4},
+		{"zero-cols", 4, 0},
+		{"negative-rows", -1, 4},
+		{"both-zero", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProgram()
+			x := p.Var("X", 8, 8, 1)
+			x.Node.Rows, x.Node.Cols = tc.rows, tc.cols
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("expected error for non-positive shape")
+			}
+			if !strings.Contains(err.Error(), "non-positive shape") {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+// Ref.T is an involution: transposing twice restores the original reference,
+// and shape accessors follow the flag.
+func TestTransposeOfTransposeChains(t *testing.T) {
+	p := NewProgram()
+	a := p.Var("A", 3, 7, 1)
+	tt := a.T().T()
+	if tt != a {
+		t.Fatalf("t(t(A)) = %v, want %v", tt, a)
+	}
+	if a.T().Rows() != 7 || a.T().Cols() != 3 {
+		t.Errorf("t(A) shape = %dx%d, want 7x3", a.T().Rows(), a.T().Cols())
+	}
+	// Even-length chains are the identity, odd-length chains one transpose.
+	r := a
+	for i := 0; i < 6; i++ {
+		r = r.T()
+	}
+	if r.Transposed {
+		t.Error("six transposes should cancel")
+	}
+	if !r.T().Transposed {
+		t.Error("seventh transpose should flip")
+	}
+
+	// A product built from doubly-transposed refs is a plain product and
+	// validates with the untransposed inner dimensions.
+	b := p.Var("B", 7, 5, 1)
+	m := p.Mul(a.T().T(), b.T().T())
+	if m.Node.Inputs[0].Transposed || m.Node.Inputs[1].Transposed {
+		t.Error("double transpose must not survive in inputs")
+	}
+	if m.Node.Rows != 3 || m.Node.Cols != 5 {
+		t.Errorf("product shape = %dx%d, want 3x5", m.Node.Rows, m.Node.Cols)
+	}
+	p.Assign("out", m.T().T())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Node.Label(); got != "m0 %*% m1" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+// Aggregates over transposed refs validate: sum(t(X)) is as legal as sum(X).
+func TestAggregateOverTransposedRef(t *testing.T) {
+	p := NewProgram()
+	x := p.Var("X", 4, 6, 0.5)
+	s := p.Sum("s", x.T())
+	if !s.Inputs[0].Transposed {
+		t.Error("sum input lost its transpose")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corrupting a scalar op's arity after construction must fail validation.
+func TestValidateRejectsCorruptedArity(t *testing.T) {
+	p := NewProgram()
+	x := p.Var("X", 4, 4, 1)
+	y := p.Scalar(matrix.ScalarMul, x, 2)
+	y.Node.Inputs = nil
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected error for unary op with no inputs")
+	}
+}

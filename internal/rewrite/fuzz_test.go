@@ -1,0 +1,52 @@
+package rewrite_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmac/internal/core"
+	"dmac/internal/engine"
+	"dmac/internal/rewrite"
+)
+
+// FuzzRewrite feeds seeded random programs through the rewriter and checks
+// the structural invariants the engine relies on: the output always
+// validates, the pass never increases its own cost model, and rewriting is a
+// fixed point — a second pass leaves the canonical form (and therefore the
+// shared plan-cache key, engine.ProgramSignature) unchanged.
+func FuzzRewrite(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	rw := rewrite.New()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		prog, _ := core.RandomProgram(rng)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v", err)
+		}
+		first, err := rw.Rewrite(prog)
+		if err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		if err := first.Program.Validate(); err != nil {
+			t.Fatalf("rewritten program invalid: %v\n%s", err, rewrite.FormatProgram(first.Program))
+		}
+		// Tolerance covers summation-order rounding: node order changes, so
+		// the two costs are the same terms added in different orders.
+		if first.CostAfter > first.CostBefore*(1+1e-12)+1e-12 {
+			t.Fatalf("cost increased: %g -> %g", first.CostBefore, first.CostAfter)
+		}
+		second, err := rw.Rewrite(first.Program)
+		if err != nil {
+			t.Fatalf("second rewrite: %v", err)
+		}
+		if second.Changed {
+			t.Fatalf("rewrite is not a fixed point:\n%s\nvs\n%s",
+				rewrite.FormatProgram(first.Program), rewrite.FormatProgram(second.Program))
+		}
+		if a, b := engine.ProgramSignature(first.Program), engine.ProgramSignature(second.Program); a != b {
+			t.Fatalf("signature unstable across rewrites:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

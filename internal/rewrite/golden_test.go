@@ -1,0 +1,163 @@
+package rewrite_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmac/internal/apps"
+	"dmac/internal/core"
+	"dmac/internal/dist"
+	"dmac/internal/engine"
+	"dmac/internal/expr"
+	"dmac/internal/obs"
+	"dmac/internal/rewrite"
+	"dmac/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the rewriter's golden files")
+
+// showcaseProgram pairs the two structural rules in one program: a product
+// read only transposed (t(A%*%B)%*%C, rewritten so the transposes ride the
+// fused multiply kernels) and a left-associated chain with a cheap interior
+// ((GH)I, reordered to G(HI)).
+func showcaseProgram() *expr.Program {
+	p := expr.NewProgram()
+	a := p.Var("A", 64, 8, 1)
+	b := p.Var("B", 8, 64, 1)
+	c := p.Var("C", 64, 32, 1)
+	ab := p.Mul(a, b)
+	p.Assign("pushdown", p.Mul(ab.T(), c))
+
+	g := p.Var("G", 96, 6, 1)
+	h := p.Var("H", 6, 96, 1)
+	i := p.Var("I", 96, 6, 1)
+	p.Assign("chain", p.Mul(p.Mul(g, h), i))
+	return p
+}
+
+func gramProgram() *expr.Program {
+	p := expr.NewProgram()
+	v := p.Var("V", 48, 32, 0.2)
+	gram := p.Mul(v.T(), v)
+	p.Sum("gram_sum", gram)
+	p.Assign("G", gram)
+	return p
+}
+
+// TestGoldenRewrites pins the rewriter's output — original program,
+// rewritten program, decisions and the DMac plan of the rewritten form — for
+// the repo's flagship workloads. Re-generate with `go test -run Golden
+// ./internal/rewrite/ -update` and review the diff.
+func TestGoldenRewrites(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *expr.Program
+	}{
+		{"gnmf", apps.GNMFIteration(17770, 480189, 200, 0.0118)},
+		{"pagerank", apps.PageRankIteration(4847571, 1.4e-5)},
+		{"gram", gramProgram()},
+		{"showcase", showcaseProgram()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustRewrite(t, tc.prog)
+			var b strings.Builder
+			b.WriteString("== original ==\n")
+			b.WriteString(rewrite.FormatProgram(tc.prog))
+			b.WriteString("\n== rewritten ==\n")
+			b.WriteString(rewrite.FormatProgram(res.Program))
+			b.WriteString("\n== decisions ==\n")
+			b.WriteString(rewrite.FormatDecisions(res.Decisions))
+			plan, err := core.Generate(res.Program, core.Config{Workers: 4})
+			if err != nil {
+				t.Fatalf("plan rewritten program: %v", err)
+			}
+			b.WriteString("\n== plan (DMac, 4 workers) ==\n")
+			b.WriteString(plan.String())
+			golden(t, tc.name, b.String())
+		})
+	}
+}
+
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch for %s (re-run with -update and review the diff)\n--- want\n%s\n--- got\n%s",
+			name, want, got)
+	}
+}
+
+// TestShowcaseFusedTransposeExecution is the acceptance check behind the
+// showcase golden: executing the rewritten pushdown workload on the DMac
+// engine performs no materializing transpose at all — the pushed-down
+// transposes ride the fused transpose-multiply kernels — and the rewrite
+// counters record the applied rules.
+func TestShowcaseFusedTransposeExecution(t *testing.T) {
+	const bs = 8
+	prog := showcaseProgram()
+	reg := obs.NewRegistry()
+	e := engine.New(engine.DMac, dist.Config{Workers: 4, LocalParallelism: 2}, bs)
+	e.SetObserver(nil, reg)
+	e.SetRewriter(rewrite.New())
+	seed := int64(5)
+	for _, leaf := range []struct {
+		name       string
+		rows, cols int
+	}{{"A", 64, 8}, {"B", 8, 64}, {"C", 64, 32}, {"G", 96, 6}, {"H", 6, 96}, {"I", 96, 6}} {
+		if err := e.Bind(leaf.name, workload.DenseRandom(seed, leaf.rows, leaf.cols, bs)); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	}
+	if _, err := e.Run(prog, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters["exec.transpose.count"]; n != 0 {
+		t.Errorf("executor materialized %d transposes; want 0 (fused)", n)
+	}
+	if n := snap.Counters["rewrite.applied."+rewrite.RuleTransposePushdown]; n == 0 {
+		t.Error("transpose pushdown never applied")
+	}
+	if n := snap.Counters["rewrite.applied."+rewrite.RuleChainReorder]; n == 0 {
+		t.Error("chain reorder never applied")
+	}
+	for _, out := range []string{"pushdown", "chain"} {
+		if _, ok := e.Grid(out); !ok {
+			t.Errorf("output %s missing", out)
+		}
+	}
+}
+
+// TestGoldenShowcaseDemonstratesPushdown guards the acceptance criterion
+// textually: the committed showcase golden must contain a pushdown decision
+// and a rewritten product of two transposed operands.
+func TestGoldenShowcaseDemonstratesPushdown(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "showcase.golden"))
+	if err != nil {
+		t.Fatalf("missing showcase golden: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{rewrite.RuleTransposePushdown, rewrite.RuleChainReorder, "ᵀ %*%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("showcase golden does not contain %q", want)
+		}
+	}
+}

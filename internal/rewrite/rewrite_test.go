@@ -1,0 +1,282 @@
+package rewrite_test
+
+import (
+	"strings"
+	"testing"
+
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+	"dmac/internal/rewrite"
+)
+
+func hasRule(t *testing.T, res *rewrite.Result, rule string) bool {
+	t.Helper()
+	for _, d := range res.Decisions {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func mustRewrite(t *testing.T, p *expr.Program) *rewrite.Result {
+	t.Helper()
+	res, err := rewrite.New().Rewrite(p)
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if err := res.Program.Validate(); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+	if res.CostAfter > res.CostBefore*(1+1e-12)+1e-12 {
+		t.Fatalf("cost increased: %g -> %g", res.CostBefore, res.CostAfter)
+	}
+	return res
+}
+
+// A left-associated chain (AB)C with a tiny inner product must be reordered
+// to A(BC): BC is 6x6, so the DP picks the right-associated tree.
+func TestChainReorder(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 96, 6, 1)
+	b := p.Var("B", 6, 96, 1)
+	c := p.Var("C", 96, 6, 1)
+	p.Assign("out", p.Mul(p.Mul(a, b), c))
+
+	res := mustRewrite(t, p)
+	if !hasRule(t, res, rewrite.RuleChainReorder) {
+		t.Fatalf("no chain-reorder decision; got %v", res.Decisions)
+	}
+	// The reordered program materializes the 6x6 interior instead of 96x96.
+	small, big := false, false
+	for _, n := range res.Program.Nodes() {
+		if n.Kind == expr.KindMul && n.Rows == 6 && n.Cols == 6 {
+			small = true
+		}
+		if n.Kind == expr.KindMul && n.Rows == 96 && n.Cols == 96 {
+			big = true
+		}
+	}
+	if !small || big {
+		t.Fatalf("expected 6x6 interior and no 96x96 interior:\n%s", rewrite.FormatProgram(res.Program))
+	}
+	if res.CostAfter >= res.CostBefore {
+		t.Fatalf("reorder did not reduce cost: %g -> %g", res.CostBefore, res.CostAfter)
+	}
+}
+
+// A four-matrix chain built through absorbed interiors reorders as a whole.
+func TestChainReorderFourMatrices(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 96, 6, 1)
+	b := p.Var("B", 6, 96, 1)
+	c := p.Var("C", 96, 6, 1)
+	d := p.Var("D", 6, 96, 1)
+	p.Assign("out", p.Mul(p.Mul(p.Mul(a, b), c), d))
+
+	res := mustRewrite(t, p)
+	if !hasRule(t, res, rewrite.RuleChainReorder) {
+		t.Fatalf("no chain-reorder decision; got %v", res.Decisions)
+	}
+	for _, n := range res.Program.Nodes() {
+		if n.Kind == expr.KindMul && n.Rows == 96 && n.Cols == 96 && n != res.Program.Nodes()[len(res.Program.Nodes())-1] {
+			t.Fatalf("96x96 interior survived:\n%s", rewrite.FormatProgram(res.Program))
+		}
+	}
+}
+
+// t(A%*%B)%*%C: the product is only ever read transposed, so it becomes
+// t(B)%*%t(A) — read plainly, with the transposes fused into operand reads.
+func TestTransposePushdown(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 64, 8, 1)
+	b := p.Var("B", 8, 64, 1)
+	c := p.Var("C", 64, 32, 1)
+	ab := p.Mul(a, b)
+	p.Assign("out", p.Mul(ab.T(), c))
+
+	res := mustRewrite(t, p)
+	if !hasRule(t, res, rewrite.RuleTransposePushdown) {
+		t.Fatalf("no transpose-pushdown decision; got %v", res.Decisions)
+	}
+	// No multiplication result may be read transposed afterwards.
+	for _, n := range res.Program.Nodes() {
+		for _, in := range n.Inputs {
+			if in.Transposed && in.Node.Kind == expr.KindMul {
+				t.Fatalf("transposed read of a product survived:\n%s", rewrite.FormatProgram(res.Program))
+			}
+		}
+	}
+}
+
+// When the product is tiny and its operands large, flipping the transposes
+// onto the operands costs more than it saves; the gate must reject it.
+func TestTransposePushdownGated(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 2, 100, 1)
+	b := p.Var("B", 100, 2, 1)
+	c := p.Var("C", 2, 2, 1)
+	ab := p.Mul(a, b)
+	p.Assign("out", p.Mul(ab.T(), c))
+
+	res := mustRewrite(t, p)
+	if hasRule(t, res, rewrite.RuleTransposePushdown) {
+		t.Fatalf("pushdown applied despite negative gain: %v", res.Decisions)
+	}
+}
+
+func TestFoldIdentity(t *testing.T) {
+	p := expr.NewProgram()
+	x := p.Var("X", 8, 8, 1)
+	y := p.Scalar(matrix.ScalarMul, x, 1)
+	z := p.Scalar(matrix.ScalarAdd, y, 0)
+	w := p.Scalar(matrix.ScalarMul, z, 2) // not an identity
+	p.Assign("out", w)
+
+	res := mustRewrite(t, p)
+	var folds int
+	for _, d := range res.Decisions {
+		if d.Rule == rewrite.RuleFoldIdentity {
+			folds++
+		}
+	}
+	if folds != 2 {
+		t.Fatalf("expected 2 folds, got %d: %v", folds, res.Decisions)
+	}
+	if n := len(res.Program.Nodes()); n != 2 {
+		t.Fatalf("expected 2 surviving nodes (X, X*2), got %d:\n%s", n, rewrite.FormatProgram(res.Program))
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	p := expr.NewProgram()
+	x := p.Var("X", 8, 8, 1)
+	y := p.Var("Y", 8, 8, 1)
+	p.Mul(x, y) // never assigned, never aggregated
+	p.Assign("out", p.Add(x, x))
+
+	res := mustRewrite(t, p)
+	if !hasRule(t, res, rewrite.RuleDeadCode) {
+		t.Fatalf("no dead-code decision: %v", res.Decisions)
+	}
+	for _, n := range res.Program.Nodes() {
+		if n.Kind == expr.KindMul {
+			t.Fatalf("dead product survived:\n%s", rewrite.FormatProgram(res.Program))
+		}
+	}
+}
+
+func TestSparsityRefinement(t *testing.T) {
+	p := expr.NewProgram()
+	v := p.Var("V", 40, 40, 0.1)
+	g := p.Mul(v.T(), v)
+	p.Assign("G", g)
+
+	res := mustRewrite(t, p)
+	if !hasRule(t, res, rewrite.RuleSparsity) {
+		t.Fatalf("no sparsity decision: %v", res.Decisions)
+	}
+	var mul *expr.Node
+	for _, n := range res.Program.Nodes() {
+		if n.Kind == expr.KindMul {
+			mul = n
+		}
+	}
+	if mul == nil || mul.Sparsity >= 1 {
+		t.Fatalf("product sparsity not refined:\n%s", rewrite.FormatProgram(res.Program))
+	}
+}
+
+func TestCellMulSparsityRefinement(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 8, 8, 0.1)
+	b := p.Var("B", 8, 8, 0.2)
+	p.Assign("out", p.CellMul(a, b))
+
+	res := mustRewrite(t, p)
+	var cell *expr.Node
+	for _, n := range res.Program.Nodes() {
+		if n.Kind == expr.KindCell {
+			cell = n
+		}
+	}
+	if cell == nil || cell.Sparsity != 0.1 {
+		t.Fatalf("cell product sparsity not refined to min:\n%s", rewrite.FormatProgram(res.Program))
+	}
+}
+
+// Disabling every rule must still re-emit a structurally identical program.
+func TestAllRulesDisabled(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 96, 6, 1)
+	b := p.Var("B", 6, 96, 1)
+	c := p.Var("C", 96, 6, 1)
+	p.Assign("out", p.Mul(p.Mul(a, b), c))
+	p.Scalar(matrix.ScalarMul, a, 1) // dead and foldable, but DCE still drops it
+
+	r := rewrite.NewWithConfig(rewrite.Config{
+		DisableChainReorder:      true,
+		DisableTransposePushdown: true,
+		DisableFolding:           true,
+		DisableSparsity:          true,
+	})
+	res, err := r.Rewrite(p)
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	for _, d := range res.Decisions {
+		if d.Rule != rewrite.RuleDeadCode {
+			t.Fatalf("unexpected decision with rules disabled: %v", d)
+		}
+	}
+	// The live subprogram is unchanged: same chain structure.
+	if got := len(res.Program.Nodes()); got != 5 {
+		t.Fatalf("expected 5 live nodes, got %d:\n%s", got, rewrite.FormatProgram(res.Program))
+	}
+}
+
+func TestRewriteRejectsInvalidProgram(t *testing.T) {
+	p := expr.NewProgram()
+	x := p.Var("X", 4, 4, 1)
+	// Corrupt the program after construction: a self-referential input.
+	x.Node.Inputs = []expr.Ref{x}
+	if _, err := rewrite.New().Rewrite(p); err == nil {
+		t.Fatal("expected error for invalid program")
+	}
+}
+
+// Rewriting a rewritten program is a fixed point: identical rendering and
+// Changed == false.
+func TestRewriteFixedPoint(t *testing.T) {
+	p := expr.NewProgram()
+	a := p.Var("A", 96, 6, 0.3)
+	b := p.Var("B", 6, 96, 1)
+	c := p.Var("C", 96, 6, 0.5)
+	ab := p.Mul(a, b)
+	head := p.Mul(ab, c)
+	p.Sum("s", head)
+	p.Assign("out", p.Scalar(matrix.ScalarMul, head, 1))
+
+	first := mustRewrite(t, p)
+	second := mustRewrite(t, first.Program)
+	if second.Changed {
+		t.Fatalf("second rewrite changed the program:\n%s\nvs\n%s",
+			rewrite.FormatProgram(first.Program), rewrite.FormatProgram(second.Program))
+	}
+	if g, w := rewrite.FormatProgram(second.Program), rewrite.FormatProgram(first.Program); g != w {
+		t.Fatalf("fixed point violated:\n%s\nvs\n%s", w, g)
+	}
+}
+
+func TestFormatProgramStable(t *testing.T) {
+	p := expr.NewProgram()
+	v := p.Var("V", 4, 4, 0.5)
+	p.Assign("out", p.Mul(v.T(), v))
+	s := rewrite.FormatProgram(p)
+	if !strings.Contains(s, "assign out") || !strings.Contains(s, "var(V)") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+	if s != rewrite.FormatProgram(p) {
+		t.Fatal("rendering not deterministic")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"dmac/internal/engine"
 	"dmac/internal/matrix"
 	"dmac/internal/obs"
+	"dmac/internal/rewrite"
 	"dmac/internal/workload"
 )
 
@@ -47,6 +48,10 @@ type Options struct {
 	// checkpoint under CheckpointDir/slot-N. A forced shutdown then leaves
 	// each interrupted job's newest snapshot flushed on disk.
 	CheckpointDir string
+	// DisableRewrite turns off the algebraic rewrite pass that every engine
+	// slot otherwise runs before planning (escape hatch for A/B runs and
+	// debugging suspect plans).
+	DisableRewrite bool
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +160,9 @@ func NewService(opts Options) (*Service, error) {
 		tr := obs.NewTracer()
 		e.SetObserver(tr, m)
 		e.SetSharedPlanCache(s.shared)
+		if !opts.DisableRewrite {
+			e.SetRewriter(rewrite.New())
+		}
 		if opts.CheckpointDir != "" {
 			dir := filepath.Join(opts.CheckpointDir, fmt.Sprintf("slot-%d", i))
 			if err := e.SetCheckpoint(dir, engine.CheckpointPolicy{Interval: 1}); err != nil {
