@@ -7,20 +7,30 @@
 //	curl -s localhost:8421/v1/jobs -d '{"tenant":"alice","workload":"pagerank","params":{"nodes":256,"iters":5}}'
 //	curl -s localhost:8421/v1/jobs/job-000001?include=result
 //	curl -s localhost:8421/v1/stats
+//	curl -s localhost:8421/metrics          # Prometheus text exposition
+//	curl -s localhost:8421/v1/slo           # per-tenant burn rates
+//	curl -s localhost:8421/v1/jobs/job-000001/trace > trace.json
+//
+// Logs are structured JSON on stderr (one object per line). -debug-addr
+// serves net/http/pprof on a separate listener for live profiling.
 //
 // SIGINT/SIGTERM trigger a graceful drain: admission stops immediately,
 // in-flight and queued jobs get -drain-timeout to finish, then the queue is
 // shed and running jobs are canceled (engines started with -checkpoint-dir
-// have flushed per-stage snapshots of whatever was interrupted).
+// have flushed per-stage snapshots of whatever was interrupted). The
+// -metrics-out dump — a JSON object with the final metrics snapshot and SLO
+// snapshot — is written on every exit path, clean or forced or errored, so
+// a crash-looping deploy still leaves evidence behind.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,8 +43,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", ":8421", "listen address (host:port; port 0 picks a free port)")
 	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once serving (for scripted clients)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	plannerName := flag.String("planner", "dmac", "engine: dmac | systemml | local")
 	workers := flag.Int("workers", 4, "simulated cluster workers per engine slot")
 	blockSize := flag.Int("block", 64, "block size for served jobs")
@@ -47,8 +62,19 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "how long a shutdown waits for queued and running jobs")
 	noRewrite := flag.Bool("no-rewrite", false, "disable the algebraic rewrite pass that every engine slot runs before planning")
 	checkpointDir := flag.String("checkpoint-dir", "", "per-slot per-stage checkpoints under this directory (forced shutdowns leave flushed snapshots)")
-	metricsPath := flag.String("metrics-out", "", "write the metrics registry dump to this path on exit")
+	metricsPath := flag.String("metrics-out", "", "write the final metrics + SLO dump to this path on exit (every exit path)")
+	sloObjective := flag.Float64("slo-objective", 0, "default per-tenant SLO good-job objective, e.g. 0.99 (0 uses the built-in default)")
+	sloLatency := flag.Float64("slo-latency", 0, "default per-tenant end-to-end latency objective in seconds (0 uses the built-in default)")
+	flightJobs := flag.Int("flight-jobs", 0, "flight recorder capacity in completed job traces (0 uses the built-in default)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("dmacserve: bad -log-level", "value", *logLevel)
+		return 1
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var planner engine.Planner
 	switch *plannerName {
@@ -59,79 +85,117 @@ func main() {
 	case "local":
 		planner = engine.Local
 	default:
-		log.Fatalf("unknown planner %q", *plannerName)
+		logger.Error("unknown planner", "planner", *plannerName)
+		return 1
 	}
 
 	registry := obs.NewRegistry()
 	svc, err := serve.NewService(serve.Options{
-		Planner:         planner,
-		Cluster:         dist.ScaledConfig(*workers, 8),
-		BlockSize:       *blockSize,
-		Slots:           *slots,
-		QueueCapacity:   *queueCap,
-		DefaultQuota:    serve.TenantQuota{MaxConcurrent: *maxConcurrent, MaxQueued: *maxQueued, MaxBytes: *maxBytes},
-		DefaultDeadline: *deadline,
-		Metrics:         registry,
-		CheckpointDir:   *checkpointDir,
-		DisableRewrite:  *noRewrite,
+		Planner:            planner,
+		Cluster:            dist.ScaledConfig(*workers, 8),
+		BlockSize:          *blockSize,
+		Slots:              *slots,
+		QueueCapacity:      *queueCap,
+		DefaultQuota:       serve.TenantQuota{MaxConcurrent: *maxConcurrent, MaxQueued: *maxQueued, MaxBytes: *maxBytes},
+		DefaultDeadline:    *deadline,
+		Metrics:            registry,
+		CheckpointDir:      *checkpointDir,
+		DisableRewrite:     *noRewrite,
+		Logger:             logger,
+		SLO:                serve.SLOConfig{Objective: *sloObjective, LatencySec: *sloLatency},
+		FlightRecorderJobs: *flightJobs,
 	})
 	if err != nil {
-		log.Fatalf("dmacserve: %v", err)
+		logger.Error("dmacserve startup failed", "err", err.Error())
+		return 1
+	}
+	// From here on, every return path dumps the final metrics + SLO snapshot.
+	defer dumpMetrics(*metricsPath, registry, svc, logger)
+
+	if *debugAddr != "" {
+		// pprof on its own mux and listener so profiling is never exposed on
+		// the service port (and the service mux stays pattern-only).
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "err", err.Error())
+			return 1
+		}
+		logger.Info("pprof serving", "addr", dln.Addr().String())
+		go func() { _ = http.Serve(dln, dbg) }()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("dmacserve: listen %s: %v", *addr, err)
+		logger.Error("listen failed", "addr", *addr, "err", err.Error())
+		return 1
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			log.Fatalf("dmacserve: addr-file: %v", err)
+			logger.Error("addr-file write failed", "path", *addrFile, "err", err.Error())
+			return 1
 		}
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	log.Printf("dmacserve: serving on %s (planner=%s slots=%d workers=%d block=%d)",
-		ln.Addr(), planner, *slots, *workers, *blockSize)
+	logger.Info("dmacserve serving", "addr", ln.Addr().String(), "planner", planner.String(),
+		"slots", *slots, "workers", *workers, "block", *blockSize)
 
+	exit := 0
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("dmacserve: %s: draining (timeout %s)", sig, *drainTimeout)
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	case err := <-errCh:
-		log.Fatalf("dmacserve: server: %v", err)
+		// Serve only errors before Shutdown (bad listener, port stolen):
+		// still drain the pool and dump metrics before exiting nonzero.
+		logger.Error("server failed, draining", "err", err.Error())
+		exit = 1
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Stop(ctx); err != nil {
-		log.Printf("dmacserve: forced drain: %v", err)
+		logger.Warn("forced drain", "err", err.Error())
 	} else {
-		log.Printf("dmacserve: drained cleanly")
+		logger.Info("drained cleanly")
 	}
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("dmacserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	<-errCh
 
 	st := svc.Stats()
-	log.Printf("dmacserve: exit: submitted=%d completed=%d failed=%d canceled=%d rejected=%d",
-		st.Submitted, st.Completed, st.Failed, st.Canceled, st.Rejected)
-	if *metricsPath != "" {
-		if err := writeMetrics(*metricsPath, registry); err != nil {
-			log.Printf("dmacserve: metrics-out: %v", err)
-		}
-	}
+	logger.Info("dmacserve exit",
+		"submitted", st.Submitted, "completed", st.Completed, "failed", st.Failed,
+		"canceled", st.Canceled, "rejected", st.Rejected)
+	return exit
 }
 
-func writeMetrics(path string, r *obs.Registry) error {
+// dumpMetrics writes the final observability dump: the full metrics registry
+// snapshot plus the final per-tenant SLO snapshot, as one JSON object.
+func dumpMetrics(path string, r *obs.Registry, svc *serve.Service, logger *slog.Logger) {
+	if path == "" {
+		return
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		logger.Error("metrics-out failed", "path", path, "err", err.Error())
+		return
 	}
 	defer f.Close()
-	return obs.WriteMetricsJSON(f, r.Snapshot())
+	if err := serve.WriteFinalDump(f, r.Snapshot(), svc.SLO()); err != nil {
+		logger.Error("metrics-out failed", "path", path, "err", err.Error())
+		return
+	}
+	logger.Info("metrics dump written", "path", path)
 }

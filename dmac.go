@@ -122,11 +122,13 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Trace exporters (see internal/obs): WriteChromeTrace emits chrome://tracing
 // JSON, WriteTimeline prints the human-readable per-stage report,
-// WriteMetricsJSON dumps a registry snapshot.
+// WriteMetricsJSON dumps a registry snapshot, WritePrometheus renders one in
+// Prometheus text exposition format (what dmacserve serves at /metrics).
 var (
 	WriteChromeTrace = obs.WriteChromeTrace
 	WriteTimeline    = obs.WriteTimeline
 	WriteMetricsJSON = obs.WriteMetricsJSON
+	WritePrometheus  = obs.WritePrometheus
 )
 
 // Planner modes.

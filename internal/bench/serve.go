@@ -123,10 +123,8 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 	}()
 
 	type sample struct {
-		latency  float64
-		wait     float64
-		rejected bool
-		failed   bool
+		latency float64
+		failed  bool
 	}
 	var mu sync.Mutex
 	var samples []sample
@@ -184,7 +182,6 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 				mu.Lock()
 				samples = append(samples, sample{
 					latency: time.Since(submitted).Seconds(),
-					wait:    fin.QueueSec,
 					failed:  fin.State != serve.StateDone,
 				})
 				mu.Unlock()
@@ -211,31 +208,32 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 	if wall > 0 {
 		rep.ThroughputJPS = float64(len(samples)) / wall
 	}
-	var lats, waits []float64
-	var waitSum float64
+	var lats []float64
 	for _, s := range samples {
 		if s.failed {
 			rep.Failed++
 		}
 		lats = append(lats, s.latency)
-		waits = append(waits, s.wait)
-		waitSum += s.wait
 	}
+	// Client-observed latency includes submission retries the server can't
+	// see, so it stays a client-side percentile; queue-wait percentiles come
+	// from the service's own histogram quantiles — the same numbers /v1/stats
+	// serves — instead of being recomputed from raw samples here.
 	rep.LatencyP50Sec = percentile(lats, 0.50)
 	rep.LatencyP95Sec = percentile(lats, 0.95)
 	rep.LatencyP99Sec = percentile(lats, 0.99)
-	rep.QueueWaitP50Sec = percentile(waits, 0.50)
-	rep.QueueWaitP95Sec = percentile(waits, 0.95)
-	rep.QueueWaitP99Sec = percentile(waits, 0.99)
-	if len(waits) > 0 {
-		rep.QueueWaitMeanSec = waitSum / float64(len(waits))
+	stats := svc.Stats()
+	rep.QueueWaitP50Sec = stats.QueueWaitP50Sec
+	rep.QueueWaitP95Sec = stats.QueueWaitP95Sec
+	rep.QueueWaitP99Sec = stats.QueueWaitP99Sec
+	if stats.QueueWaitCount > 0 {
+		rep.QueueWaitMeanSec = stats.QueueWaitSum / float64(stats.QueueWaitCount)
 	}
 	rep.Rejections = rejections
 	attempts := int64(len(samples)) + rejections
 	if attempts > 0 {
 		rep.RejectionRate = float64(rejections) / float64(attempts)
 	}
-	stats := svc.Stats()
 	rep.PlanCacheHits = stats.PlanCache.Hits
 	rep.PlanCacheMisses = stats.PlanCache.Misses
 	rep.JobCacheHits = stats.JobCache.Hits

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"dmac/internal/core"
@@ -98,6 +99,10 @@ func (e *Engine) execute(ctx context.Context, plan *core.Plan, sig string, param
 		e.tracer.End(span)
 		if err != nil {
 			return stats, err
+		}
+		if e.metrics != nil {
+			e.metrics.HistogramVec("engine.stage.seconds", obs.SecondsBuckets, "stage").
+				With(strconv.Itoa(s)).Observe(stats.stageWall[s])
 		}
 		if e.ckpt != nil {
 			e.ckpt.noteStage(e.modelCost(netBefore, e.cluster.Net().Snapshot()))

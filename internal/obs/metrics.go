@@ -104,6 +104,30 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// snapshot copies the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation within the bucket containing the
+// target rank. See HistogramSnapshot.Quantile for the estimation contract.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().Quantile(q)
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram.
 type HistogramSnapshot struct {
 	// Bounds are the upper bucket edges; Counts has one extra entry for the
@@ -112,6 +136,49 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile by linear interpolation within the
+// bucket containing the target rank, assuming observations spread uniformly
+// inside each bucket. The first bucket interpolates from 0 (all layouts in
+// this package are non-negative); ranks landing in the overflow bucket clamp
+// to the highest bound, since the overflow bucket has no upper edge to
+// interpolate toward. An empty histogram reports 0; q is clamped to [0,1].
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			var lo float64
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Default bucket layouts. Byte buckets are powers of 4 from 256 B to 4 GiB;
@@ -142,18 +209,24 @@ func geometric(start, factor float64, n int) []float64 {
 // which are themselves no-op receivers — so disabled metrics cost only nil
 // checks.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
 	}
 }
 
@@ -205,12 +278,65 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// CounterVec returns the named counter family with the given label names,
+// creating it on first use (later calls reuse the existing family regardless
+// of label names, matching Histogram's treatment of bounds).
+func (r *Registry) CounterVec(name string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = newCounterVec(labelNames)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use.
+func (r *Registry) GaugeVec(name string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = newGaugeVec(labelNames)
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram family whose children share the
+// given bounds, creating it on first use.
+func (r *Registry) HistogramVec(name string, bounds []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = newHistogramVec(bounds, labelNames)
+		r.histVecs[name] = v
+	}
+	return v
+}
+
 // MetricsSnapshot is a point-in-time copy of every metric in a registry,
-// shaped for JSON export.
+// shaped for JSON export. Labeled families appear separately from plain
+// metrics, each child carrying its label set.
 type MetricsSnapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+
+	CounterVecs   map[string][]LabeledCounterSnapshot   `json:"counter_vecs,omitempty"`
+	GaugeVecs     map[string][]LabeledGaugeSnapshot     `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string][]LabeledHistogramSnapshot `json:"histogram_vecs,omitempty"`
 }
 
 // Snapshot copies all metrics. Nil registry yields an empty snapshot.
@@ -232,16 +358,25 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 		snap.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-			Count:  h.Count(),
-			Sum:    h.Sum(),
+		snap.Histograms[name] = h.snapshot()
+	}
+	if len(r.counterVecs) > 0 {
+		snap.CounterVecs = make(map[string][]LabeledCounterSnapshot, len(r.counterVecs))
+		for name, v := range r.counterVecs {
+			snap.CounterVecs[name] = v.snapshot()
 		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
+	}
+	if len(r.gaugeVecs) > 0 {
+		snap.GaugeVecs = make(map[string][]LabeledGaugeSnapshot, len(r.gaugeVecs))
+		for name, v := range r.gaugeVecs {
+			snap.GaugeVecs[name] = v.snapshot()
 		}
-		snap.Histograms[name] = hs
+	}
+	if len(r.histVecs) > 0 {
+		snap.HistogramVecs = make(map[string][]LabeledHistogramSnapshot, len(r.histVecs))
+		for name, v := range r.histVecs {
+			snap.HistogramVecs[name] = v.snapshot()
+		}
 	}
 	return snap
 }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+
+	"dmac/internal/obs"
+)
+
+// flightRecorder is the always-on trace ring: the finished span tree of
+// every completed job, kept for the most recent N jobs, so GET
+// /v1/jobs/{id}/trace can hand back a Chrome trace for any recent job
+// without restarting the server or passing flags up front. Each engine slot
+// owns a private tracer and runs one job at a time, so a slot's spans
+// between job start and finish are exactly that job's tree; runJob drains
+// the tracer into the recorder at the terminal transition, which also bounds
+// tracer memory over a server's lifetime.
+type flightRecorder struct {
+	mu       sync.Mutex
+	capacity int
+	order    []string // job IDs, oldest first
+	traces   map[string][]obs.Span
+}
+
+const defaultFlightRecorderJobs = 256
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightRecorderJobs
+	}
+	return &flightRecorder{capacity: capacity, traces: make(map[string][]obs.Span)}
+}
+
+// record stores one job's spans, evicting the oldest recorded job when full.
+func (f *flightRecorder) record(id string, spans []obs.Span) {
+	if f == nil || len(spans) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, exists := f.traces[id]; !exists {
+		for len(f.order) >= f.capacity {
+			evict := f.order[0]
+			f.order = f.order[1:]
+			delete(f.traces, evict)
+		}
+		f.order = append(f.order, id)
+	}
+	f.traces[id] = spans
+}
+
+// get returns the recorded spans for a job, if still in the ring.
+func (f *flightRecorder) get(id string) ([]obs.Span, bool) {
+	if f == nil {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	spans, ok := f.traces[id]
+	return spans, ok
+}
+
+// ids returns the recorded job IDs, oldest first.
+func (f *flightRecorder) ids() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}

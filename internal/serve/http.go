@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dmac/internal/matrix"
+	"dmac/internal/obs"
 	"dmac/internal/workload"
 )
 
@@ -50,17 +51,33 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs      submit a registry workload
-//	GET    /v1/jobs/{id} job status (?include=result adds output summaries)
-//	DELETE /v1/jobs/{id} cancel
-//	GET    /v1/stats     service statistics
-//	GET    /v1/workloads registered workloads
-//	GET    /healthz      liveness (503 while draining)
+//	POST   /v1/jobs            submit a registry workload
+//	GET    /v1/jobs            list jobs (?tenant= and ?state= filters)
+//	GET    /v1/jobs/{id}       job status (?include=result adds output summaries)
+//	GET    /v1/jobs/{id}/trace Chrome-trace JSON from the flight recorder
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/stats           service statistics
+//	GET    /v1/slo             per-tenant rolling SLO windows and burn rates
+//	GET    /v1/workloads       registered workloads
+//	GET    /metrics            Prometheus text-format exposition
+//	GET    /healthz            liveness (503 while draining)
+//
+// Every request is logged through the service logger (method, path, status,
+// duration) at debug level, with non-2xx responses at info.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.SLO())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = obs.WritePrometheus(w, s.opts.Metrics.Snapshot())
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -83,7 +100,72 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the response code for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests wraps the API mux with structured request logging.
+func (s *Service) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"duration_sec", time.Since(start).Seconds(), "remote", r.RemoteAddr,
+		}
+		if rec.status >= 400 {
+			s.logger.Info("http request", attrs...)
+		} else {
+			s.logger.Debug("http request", attrs...)
+		}
+	})
+}
+
+// handleList serves GET /v1/jobs: all known jobs, optionally filtered by
+// ?tenant= and ?state=.
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	state := State(r.URL.Query().Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown state %q", state)})
+		return
+	}
+	jobs := s.ListJobs(r.URL.Query().Get("tenant"), state)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "count": len(jobs)})
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace: the flight recorder's span
+// tree for the job as Chrome trace_event JSON (loadable in chrome://tracing
+// and Perfetto).
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans, err := s.JobTrace(id)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrNotFinished):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	default: // evicted from the ring
+		writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, spans)
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,6 +55,17 @@ type Options struct {
 	// slot otherwise runs before planning (escape hatch for A/B runs and
 	// debugging suspect plans).
 	DisableRewrite bool
+	// Logger receives structured job-lifecycle and request logs (default: a
+	// discarding logger, so embedded services and tests stay quiet).
+	Logger *slog.Logger
+	// SLO is the default per-tenant service-level objective; SLOs overrides
+	// it for named tenants. Zero fields fall back to built-in defaults
+	// (objective 0.99, latency 5s).
+	SLO  SLOConfig
+	SLOs map[string]SLOConfig
+	// FlightRecorderJobs bounds the always-on trace ring: how many recent
+	// jobs keep their full span tree queryable via JobTrace (default 256).
+	FlightRecorderJobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +87,9 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return o
 }
 
@@ -92,6 +109,9 @@ type Service struct {
 	shared   *engine.PlanCache
 	jobCache *jobCache
 	start    time.Time
+	logger   *slog.Logger
+	slo      *sloTracker
+	flight   *flightRecorder
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -119,6 +139,18 @@ type Service struct {
 	cCanceled    *obs.Counter
 	cRejected    *obs.Counter
 	rejectedByRC map[string]*obs.Counter
+
+	// labeled metric families (per-tenant exposition via /metrics)
+	vSubmitted  *obs.CounterVec   // tenant, workload
+	vFinished   *obs.CounterVec   // tenant, workload, state
+	vRejected   *obs.CounterVec   // tenant, reason
+	vQueueDepth *obs.GaugeVec     // tenant
+	vRunning    *obs.GaugeVec     // tenant
+	vQueueWait  *obs.HistogramVec // tenant
+	vRunSeconds *obs.HistogramVec // tenant, workload
+	vCommBytes  *obs.CounterVec   // tenant
+	vFLOPs      *obs.CounterVec   // tenant
+	vJobGFLOPS  *obs.HistogramVec // tenant
 }
 
 var latencyBounds = []float64{
@@ -134,6 +166,9 @@ func NewService(opts Options) (*Service, error) {
 		shared:         engine.NewPlanCache(opts.PlanCacheCap),
 		jobCache:       newJobCache(opts.JobCacheBytes),
 		start:          time.Now(),
+		logger:         opts.Logger,
+		slo:            newSLOTracker(opts.SLO, opts.SLOs),
+		flight:         newFlightRecorder(opts.FlightRecorderJobs),
 		jobs:           make(map[string]*job),
 		tenants:        make(map[string]*tenantState),
 		dispatcherDone: make(chan struct{}),
@@ -154,6 +189,16 @@ func NewService(opts Options) (*Service, error) {
 		"tenant_quota": m.Counter("serve.admit.rejected.tenant_quota"),
 		"draining":     m.Counter("serve.admit.rejected.draining"),
 	}
+	s.vSubmitted = m.CounterVec("serve.tenant.jobs.submitted", "tenant", "workload")
+	s.vFinished = m.CounterVec("serve.tenant.jobs.finished", "tenant", "workload", "state")
+	s.vRejected = m.CounterVec("serve.tenant.rejected", "tenant", "reason")
+	s.vQueueDepth = m.GaugeVec("serve.tenant.queue.depth", "tenant")
+	s.vRunning = m.GaugeVec("serve.tenant.jobs.running", "tenant")
+	s.vQueueWait = m.HistogramVec("serve.tenant.queue.wait.seconds", latencyBounds, "tenant")
+	s.vRunSeconds = m.HistogramVec("serve.tenant.job.run.seconds", latencyBounds, "tenant", "workload")
+	s.vCommBytes = m.CounterVec("serve.tenant.comm.bytes", "tenant")
+	s.vFLOPs = m.CounterVec("serve.tenant.flops", "tenant")
+	s.vJobGFLOPS = m.HistogramVec("serve.tenant.job.gflops", obs.GFLOPSBuckets, "tenant")
 
 	for i := 0; i < opts.Slots; i++ {
 		e := engine.New(opts.Planner, opts.Cluster, opts.BlockSize)
@@ -202,15 +247,25 @@ func (s *Service) tenant(name string) *tenantState {
 	return ts
 }
 
-func (s *Service) rejectLocked(ts *tenantState, reason string, r *Rejection) error {
+func (s *Service) rejectLocked(tenant string, ts *tenantState, reason string, r *Rejection) error {
 	s.cRejected.Inc()
 	if c, ok := s.rejectedByRC[reason]; ok {
 		c.Inc()
 	}
+	s.vRejected.With(tenant, reason).Inc()
 	if ts != nil {
 		ts.rejected++
 	}
+	s.logger.Warn("job rejected",
+		"tenant", tenant, "reason", reason, "detail", r.Reason,
+		"retryable", r.Retryable, "retry_after_sec", r.RetryAfter.Seconds())
 	return r
+}
+
+// tenantGaugesLocked refreshes the tenant's live queue/running gauges.
+func (s *Service) tenantGaugesLocked(tenant string, ts *tenantState) {
+	s.vQueueDepth.With(tenant).Set(float64(ts.queued))
+	s.vRunning.With(tenant).Set(float64(ts.running))
 }
 
 // Submit prices the job, applies admission control, and enqueues it. The
@@ -239,23 +294,23 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	ts := s.tenant(spec.Tenant)
 	if s.draining {
-		return JobStatus{}, s.rejectLocked(ts, "draining",
+		return JobStatus{}, s.rejectLocked(spec.Tenant, ts, "draining",
 			&Rejection{Reason: "service draining", Retryable: false})
 	}
 	if est > ts.quota.MaxBytes {
-		return JobStatus{}, s.rejectLocked(ts, "tenant_quota", &Rejection{
+		return JobStatus{}, s.rejectLocked(spec.Tenant, ts, "tenant_quota", &Rejection{
 			Reason: fmt.Sprintf("job needs %d estimated bytes, tenant quota is %d", est, ts.quota.MaxBytes),
 		})
 	}
 	if ts.queued >= ts.quota.MaxQueued {
-		return JobStatus{}, s.rejectLocked(ts, "tenant_quota", &Rejection{
+		return JobStatus{}, s.rejectLocked(spec.Tenant, ts, "tenant_quota", &Rejection{
 			Reason:     fmt.Sprintf("tenant has %d jobs queued (quota %d)", ts.queued, ts.quota.MaxQueued),
 			RetryAfter: retryAfter(s.q.size),
 			Retryable:  true,
 		})
 	}
 	if s.q.size >= s.opts.QueueCapacity {
-		return JobStatus{}, s.rejectLocked(ts, "queue_full", &Rejection{
+		return JobStatus{}, s.rejectLocked(spec.Tenant, ts, "queue_full", &Rejection{
 			Reason:     fmt.Sprintf("admission queue full (%d)", s.q.size),
 			RetryAfter: retryAfter(s.q.size),
 			Retryable:  true,
@@ -278,7 +333,12 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	ts.queued++
 	ts.submitted++
 	s.cSubmitted.Inc()
+	s.vSubmitted.With(spec.Tenant, spec.Workload).Inc()
 	s.gQueueDepth.Set(float64(s.q.size))
+	s.tenantGaugesLocked(spec.Tenant, ts)
+	s.logger.Info("job submitted",
+		"job", j.id, "tenant", spec.Tenant, "workload", spec.Workload,
+		"priority", j.priority, "est_bytes", est, "queue_depth", s.q.size)
 	s.cond.Broadcast()
 	return j.status(), nil
 }
@@ -369,9 +429,15 @@ func (s *Service) dispatcher() {
 		j.state = StateRunning
 		j.started = time.Now()
 		s.running++
-		s.hQueueWait.Observe(j.started.Sub(j.submitted).Seconds())
+		wait := j.started.Sub(j.submitted).Seconds()
+		s.hQueueWait.Observe(wait)
+		s.vQueueWait.With(j.spec.Tenant).Observe(wait)
 		s.gQueueDepth.Set(float64(s.q.size))
 		s.gRunning.Set(float64(s.running))
+		s.tenantGaugesLocked(j.spec.Tenant, ts)
+		s.logger.Info("job started",
+			"job", j.id, "tenant", j.spec.Tenant, "workload", j.spec.Workload,
+			"slot", slot.id, "queue_sec", wait)
 		s.wg.Add(1)
 		go s.runJob(j, slot)
 	}
@@ -454,13 +520,18 @@ func (s *Service) runJob(j *job, slot *engineSlot) {
 	}
 	slot.tracer.End(root, obs.String("state", string(state)), obs.Int64("iterations", int64(iters)))
 
+	// Drain the slot tracer into the flight recorder: the slot ran only this
+	// job since the last drain, so these spans are exactly its tree. Draining
+	// per job also keeps a long-lived slot's tracer memory bounded.
+	s.flight.record(j.id, slot.tracer.Spans())
+	slot.tracer.Reset()
+
 	s.finishJob(j, slot, state, runErr, res, total, iters)
 }
 
 // finishJob publishes the terminal state, returns the slot to the pool, and
 // settles the tenant's accounting and the service metrics.
 func (s *Service) finishJob(j *job, slot *engineSlot, state State, runErr error, res *Result, total engine.Metrics, iters int) {
-	m := s.opts.Metrics
 	s.mu.Lock()
 	ts := s.tenants[j.spec.Tenant]
 	ts.running--
@@ -491,11 +562,35 @@ func (s *Service) finishJob(j *job, slot *engineSlot, state State, runErr error,
 	s.running--
 	s.freeSlots = append(s.freeSlots, slot)
 	s.gRunning.Set(float64(s.running))
-	s.hRunSeconds.Observe(j.finished.Sub(j.started).Seconds())
-	m.Counter("serve.tenant." + j.spec.Tenant + ".bytes").Add(total.CommBytes)
-	m.Counter("serve.tenant." + j.spec.Tenant + ".flops").Add(int64(total.FLOPs))
+	runSec := j.finished.Sub(j.started).Seconds()
+	s.hRunSeconds.Observe(runSec)
+	s.vFinished.With(j.spec.Tenant, j.spec.Workload, string(state)).Inc()
+	s.vRunSeconds.With(j.spec.Tenant, j.spec.Workload).Observe(runSec)
+	s.vCommBytes.With(j.spec.Tenant).Add(total.CommBytes)
+	s.vFLOPs.With(j.spec.Tenant).Add(int64(total.FLOPs))
+	if runSec > 0 && total.FLOPs > 0 {
+		s.vJobGFLOPS.With(j.spec.Tenant).Observe(total.FLOPs / runSec / 1e9)
+	}
+	s.tenantGaugesLocked(j.spec.Tenant, ts)
+	latency := j.finished.Sub(j.submitted).Seconds()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	// Canceled jobs are client decisions, not service failures; only done and
+	// failed jobs consume SLO budget.
+	if state != StateCanceled {
+		s.slo.record(j.spec.Tenant, latency, state == StateFailed)
+	}
+	logAttrs := []any{
+		"job", j.id, "tenant", j.spec.Tenant, "workload", j.spec.Workload,
+		"state", string(state), "run_sec", runSec, "latency_sec", latency,
+		"iterations", iters, "comm_bytes", total.CommBytes, "flops", total.FLOPs,
+	}
+	if runErr != nil {
+		logAttrs = append(logAttrs, "error", runErr.Error())
+		s.logger.Warn("job finished", logAttrs...)
+	} else {
+		s.logger.Info("job finished", logAttrs...)
+	}
 	close(j.done)
 }
 
@@ -564,7 +659,10 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 		j.err = context.Canceled
 		j.finished = time.Now()
 		s.cCanceled.Inc()
+		s.vFinished.With(j.spec.Tenant, j.spec.Workload, string(StateCanceled)).Inc()
 		s.gQueueDepth.Set(float64(s.q.size))
+		s.tenantGaugesLocked(j.spec.Tenant, ts)
+		s.logger.Info("job canceled while queued", "job", j.id, "tenant", j.spec.Tenant)
 		st := j.status()
 		s.mu.Unlock()
 		close(j.done)
@@ -621,6 +719,9 @@ func (s *Service) Stop(ctx context.Context) error {
 			j.err = fmt.Errorf("serve: shed at shutdown: %w", context.Canceled)
 			j.finished = time.Now()
 			s.cCanceled.Inc()
+			s.vFinished.With(j.spec.Tenant, j.spec.Workload, string(StateCanceled)).Inc()
+			s.tenantGaugesLocked(j.spec.Tenant, ts)
+			s.logger.Warn("job shed at shutdown", "job", j.id, "tenant", j.spec.Tenant)
 			doneCh = append(doneCh, j.done)
 			shed++
 		}
@@ -656,3 +757,62 @@ func (s *Service) Draining() bool {
 	defer s.mu.Unlock()
 	return s.draining
 }
+
+// Metrics returns the service's metrics registry (the /metrics exposition
+// source).
+func (s *Service) Metrics() *obs.Registry { return s.opts.Metrics }
+
+// SLO returns the current per-tenant rolling SLO windows and burn rates (the
+// /v1/slo payload).
+func (s *Service) SLO() SLOSnapshot { return s.slo.snapshot() }
+
+// ListJobs returns status snapshots of known jobs, filtered by tenant and/or
+// state when non-empty, ordered by job ID (which is submission order).
+func (s *Service) ListJobs(tenant string, state State) []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if tenant != "" && j.spec.Tenant != tenant {
+			continue
+		}
+		if state != "" && j.state != state {
+			continue
+		}
+		out = append(out, j.status())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// ErrNoTrace is returned by JobTrace when a job finished but its spans have
+// aged out of the flight recorder's ring.
+var ErrNoTrace = fmt.Errorf("serve: job trace no longer recorded")
+
+// JobTrace returns the recorded span tree of a completed job from the
+// always-on flight recorder. Unknown IDs return ErrUnknownJob, jobs that
+// have not finished return ErrNotFinished, and evicted traces return
+// ErrNoTrace.
+func (s *Service) JobTrace(id string) ([]obs.Span, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var terminal bool
+	if ok {
+		terminal = j.state.Terminal()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if spans, found := s.flight.get(id); found {
+		return spans, nil
+	}
+	if !terminal {
+		return nil, ErrNotFinished
+	}
+	return nil, ErrNoTrace
+}
+
+// TracedJobIDs returns the job IDs currently held by the flight recorder,
+// oldest first.
+func (s *Service) TracedJobIDs() []string { return s.flight.ids() }

@@ -453,8 +453,9 @@ func TestProgrammaticJob(t *testing.T) {
 	}
 }
 
-// TestJobRootSpans: every job emits a serve/job root span and the engine's
-// run spans are parented under it.
+// TestJobRootSpans: every job emits a serve/job root span, the engine's run
+// spans are parented under it, and the whole tree lands in the flight
+// recorder under the job's ID.
 func TestJobRootSpans(t *testing.T) {
 	s := newTestService(t, testOptions())
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -466,11 +467,11 @@ func TestJobRootSpans(t *testing.T) {
 	if fin, err := s.Wait(ctx, st.ID); err != nil || fin.State != StateDone {
 		t.Fatalf("%v / %+v", err, fin)
 	}
-	var root *obs.Span
-	var spans []obs.Span
-	for _, tr := range s.Tracers() {
-		spans = append(spans, tr.Spans()...)
+	spans, err := s.JobTrace(st.ID)
+	if err != nil {
+		t.Fatalf("JobTrace: %v", err)
 	}
+	var root *obs.Span
 	for i := range spans {
 		if spans[i].Cat == "serve" && spans[i].Name == "job" {
 			root = &spans[i]
@@ -487,5 +488,12 @@ func TestJobRootSpans(t *testing.T) {
 	}
 	if childRuns == 0 {
 		t.Error("engine run spans are not parented under the job root span")
+	}
+	// The slot tracer was drained into the recorder: a second job must not
+	// see the first job's spans.
+	for _, tr := range s.Tracers() {
+		if tr.Len() != 0 {
+			t.Errorf("slot tracer retains %d spans after drain", tr.Len())
+		}
 	}
 }

@@ -42,6 +42,17 @@ type Stats struct {
 	RunCount       int64   `json:"run_count"`
 	RunSum         float64 `json:"run_sum_sec"`
 
+	// Quantiles estimated from the server-side histograms by linear
+	// interpolation within buckets (obs.Histogram.Quantile), so clients and
+	// benches read latency percentiles from the service instead of
+	// recomputing them from raw samples.
+	QueueWaitP50Sec float64 `json:"queue_wait_p50_sec"`
+	QueueWaitP95Sec float64 `json:"queue_wait_p95_sec"`
+	QueueWaitP99Sec float64 `json:"queue_wait_p99_sec"`
+	RunP50Sec       float64 `json:"run_p50_sec"`
+	RunP95Sec       float64 `json:"run_p95_sec"`
+	RunP99Sec       float64 `json:"run_p99_sec"`
+
 	PlanCache CacheStats             `json:"plan_cache"`
 	JobCache  CacheStats             `json:"job_cache"`
 	Tenants   map[string]TenantStats `json:"tenants"`
@@ -66,6 +77,13 @@ func (s *Service) Stats() Stats {
 		QueueWaitSum:   s.hQueueWait.Sum(),
 		RunCount:       s.hRunSeconds.Count(),
 		RunSum:         s.hRunSeconds.Sum(),
+
+		QueueWaitP50Sec: s.hQueueWait.Quantile(0.50),
+		QueueWaitP95Sec: s.hQueueWait.Quantile(0.95),
+		QueueWaitP99Sec: s.hQueueWait.Quantile(0.99),
+		RunP50Sec:       s.hRunSeconds.Quantile(0.50),
+		RunP95Sec:       s.hRunSeconds.Quantile(0.95),
+		RunP99Sec:       s.hRunSeconds.Quantile(0.99),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
