@@ -9,7 +9,7 @@
 //	dmacbench -exp fig8 -graph LiveJournal
 //	dmacbench -chaos
 //	dmacbench -trace out.json -metrics-out metrics.json
-//	dmacbench -kernels -kernel-sizes 64,128,256,512 -kernels-out BENCH_kernels.json
+//	dmacbench -kernels -kernel-sizes 64,128,256,512 -kernel-workers 1,2,4,8 -kernels-out BENCH_kernels.json
 //	dmacbench -serve -serve-tenants 3 -serve-jobs 8 -serve-out BENCH_serve.json
 package main
 
@@ -40,6 +40,7 @@ func main() {
 	metricsPath := flag.String("metrics-out", "", "with -trace, also write the metrics registry dump to this path")
 	kernels := flag.Bool("kernels", false, "run only the local kernel microbenchmarks")
 	kernelSizes := flag.String("kernel-sizes", "64,128,256,512", "comma-separated square block sizes for -kernels")
+	kernelWorkers := flag.String("kernel-workers", "1,2,4,8", "comma-separated kernel worker counts for the -kernels multi-core curve")
 	kernelsOut := flag.String("kernels-out", "", "with -kernels, also write the report JSON to this path")
 	serveMode := flag.Bool("serve", false, "run only the closed-loop serve load benchmark (K tenants x M jobs against an in-process job service)")
 	serveTenants := flag.Int("serve-tenants", 3, "with -serve, concurrent tenants (K)")
@@ -66,7 +67,7 @@ func main() {
 
 	w := os.Stdout
 	if *kernels {
-		if err := runKernels(w, *kernelSizes, *kernelsOut); err != nil {
+		if err := runKernels(w, *kernelSizes, *kernelWorkers, *kernelsOut); err != nil {
 			log.Fatalf("kernels: %v", err)
 		}
 		return
@@ -237,23 +238,34 @@ func main() {
 
 // runKernels runs the kernel microbenchmark suite, prints the table, and
 // optionally writes the JSON artifact.
-func runKernels(w io.Writer, sizesCSV, outPath string) error {
-	var sizes []int
-	for _, s := range strings.Split(sizesCSV, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
+func runKernels(w io.Writer, sizesCSV, workersCSV, outPath string) error {
+	parseCSV := func(csv, what string) ([]int, error) {
+		var out []int
+		for _, s := range strings.Split(csv, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("invalid kernel %s %q", what, s)
+			}
+			out = append(out, n)
 		}
-		n, err := strconv.Atoi(s)
-		if err != nil || n <= 0 {
-			return fmt.Errorf("invalid kernel size %q", s)
-		}
-		sizes = append(sizes, n)
+		return out, nil
+	}
+	sizes, err := parseCSV(sizesCSV, "size")
+	if err != nil {
+		return err
 	}
 	if len(sizes) == 0 {
 		return fmt.Errorf("no kernel sizes given")
 	}
-	rep := bench.Kernels(sizes)
+	workers, err := parseCSV(workersCSV, "worker count")
+	if err != nil {
+		return err
+	}
+	rep := bench.Kernels(sizes, workers)
 	bench.WriteKernels(w, rep)
 	if outPath == "" {
 		return nil

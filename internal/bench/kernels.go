@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"runtime"
 	"time"
@@ -20,18 +21,24 @@ import (
 type KernelPoint struct {
 	// Kernel names the measured path: dd-naive (pre-tiling ikj baseline),
 	// dd-tiled, dd-nt / dd-tn (fused transpose GEMM), sd / ds (sparse-dense
-	// at ~5% density).
+	// at ~5% density), dd-par (tiled kernel at Workers kernel workers),
+	// dd-strassen (Strassen recursion, eligible sizes only).
 	Kernel string `json:"kernel"`
 	// Size is the square block side.
 	Size int `json:"size"`
+	// Workers is the kernel worker count of a dd-par point; zero elsewhere
+	// (those paths are measured at one worker).
+	Workers int `json:"workers,omitempty"`
 	// Reps is the number of timed repetitions.
 	Reps int `json:"reps"`
 	// NsPerOp is the mean wall time of one block multiplication.
 	NsPerOp float64 `json:"ns_per_op"`
 	// GFLOPS is the achieved throughput (effective flops for sparse paths).
 	GFLOPS float64 `json:"gflops"`
-	// Speedup is NsPerOp(dd-naive) / NsPerOp at the same size; only set for
-	// the dense kernels that share the naive baseline's flop count.
+	// Speedup is the ratio of a baseline's NsPerOp to this point's at the
+	// same size: the dd-naive baseline for the dense tiled kernels, the
+	// one-worker dd-par point for the worker curve, and dd-tiled (classical)
+	// for dd-strassen — so a dd-strassen speedup above 1 marks the crossover.
 	Speedup float64 `json:"speedup,omitempty"`
 }
 
@@ -68,7 +75,11 @@ func randSparse(rng *rand.Rand, n int) *matrix.CSCBlock {
 }
 
 // measure times f adaptively: repetitions are scaled so each measurement
-// takes roughly 150 ms of wall time, bounded to [3, 1000] reps.
+// takes roughly 150 ms of wall time, bounded to [3, 1000] reps. The
+// reported figure is the *minimum* repetition, not the mean: scheduler and
+// frequency noise is strictly additive, and at block sizes where only a few
+// repetitions fit the budget a single preempted rep would otherwise skew
+// the point by tens of percent.
 func measure(f func()) (nsPerOp float64, reps int) {
 	f() // warm-up: page in operands, populate the GEMM buffer pool
 	t0 := time.Now()
@@ -84,16 +95,31 @@ func measure(f func()) (nsPerOp float64, reps int) {
 	if n > 1000 {
 		n = 1000
 	}
-	start := time.Now()
+	best := time.Duration(math.MaxInt64)
 	for i := 0; i < n; i++ {
+		start := time.Now()
 		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(n), n
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	return float64(best.Nanoseconds()), n
 }
 
 // Kernels runs the kernel microbenchmark suite over the given square block
-// sizes and returns the report.
-func Kernels(sizes []int) *KernelReport {
+// sizes and returns the report. The single-path kernels are measured at one
+// kernel worker; every count in workerCounts adds a dd-par point per size
+// (the multi-core speedup curve), and eligible sizes add a dd-strassen point
+// whose speedup against dd-tiled is the classical-vs-Strassen crossover
+// table. A nil workerCounts measures the worker curve at 1 only.
+func Kernels(sizes []int, workerCounts []int) *KernelReport {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1}
+	}
+	defer matrix.SetKernelWorkers(matrix.SetKernelWorkers(1))
 	rep := &KernelReport{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(int64(n)))
@@ -127,7 +153,7 @@ func Kernels(sizes []int) *KernelReport {
 			{"sd", sparseFLOPs, mulTrans(sa, b, false, false)},
 			{"ds", 2 * float64(sb.NNZ()) * float64(n), mulTrans(a, sb, false, false)},
 		}
-		var naiveNs float64
+		var naiveNs, tiledNs float64
 		for _, r := range runs {
 			ns, reps := measure(r.f)
 			pt := KernelPoint{
@@ -141,11 +167,48 @@ func Kernels(sizes []int) *KernelReport {
 			case "dd-naive":
 				naiveNs = ns
 			case "dd-tiled", "dd-nt", "dd-tn":
+				if r.kernel == "dd-tiled" {
+					tiledNs = ns
+				}
 				if naiveNs > 0 && ns > 0 {
 					pt.Speedup = naiveNs / ns
 				}
 			}
 			rep.Points = append(rep.Points, pt)
+		}
+		// Worker curve: the same tiled multiply at each kernel worker count,
+		// speedup against the one-worker dd-tiled measurement above.
+		for _, wk := range workerCounts {
+			matrix.SetKernelWorkers(wk)
+			ns, reps := measure(mulTrans(a, b, false, false))
+			matrix.SetKernelWorkers(1)
+			rep.Points = append(rep.Points, KernelPoint{
+				Kernel:  "dd-par",
+				Size:    n,
+				Workers: wk,
+				Reps:    reps,
+				NsPerOp: ns,
+				GFLOPS:  denseFLOPs / ns,
+				Speedup: tiledNs / ns,
+			})
+		}
+		// Crossover table: the Strassen recursion against the classical tiled
+		// kernel, at the sizes where the recursion is eligible at all.
+		if matrix.StrassenOK(n, n, n) {
+			ns, reps := measure(func() {
+				dst.Zero()
+				if err := matrix.MulAddTransAlgoInto(dst, a, b, false, false, matrix.MulStrassen); err != nil {
+					panic(err)
+				}
+			})
+			rep.Points = append(rep.Points, KernelPoint{
+				Kernel:  "dd-strassen",
+				Size:    n,
+				Reps:    reps,
+				NsPerOp: ns,
+				GFLOPS:  denseFLOPs / ns, // classical-equivalent throughput
+				Speedup: tiledNs / ns,
+			})
 		}
 	}
 	return rep
@@ -160,16 +223,21 @@ func WriteKernels(w io.Writer, r *KernelReport) {
 		if p.Speedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", p.Speedup)
 		}
+		workers := "-"
+		if p.Workers > 0 {
+			workers = fmt.Sprintf("%d", p.Workers)
+		}
 		rows = append(rows, []string{
 			p.Kernel,
 			fmt.Sprintf("%d", p.Size),
+			workers,
 			fmt.Sprintf("%.0f", p.NsPerOp),
 			fmt.Sprintf("%.2f", p.GFLOPS),
 			speedup,
 			fmt.Sprintf("%d", p.Reps),
 		})
 	}
-	writeTable(w, []string{"kernel", "size", "ns/op", "GFLOPS", "vs naive", "reps"}, rows)
+	writeTable(w, []string{"kernel", "size", "workers", "ns/op", "GFLOPS", "speedup", "reps"}, rows)
 }
 
 // WriteJSON writes the report as indented JSON (the BENCH_kernels.json

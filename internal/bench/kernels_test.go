@@ -4,16 +4,21 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"dmac/internal/matrix"
 )
 
 // TestKernelsSmoke runs the microbenchmark suite at tiny sizes and checks
 // report shape: every kernel at every size, speedups on the dense tiled
-// paths, and a JSON round trip.
+// paths, a dd-par point per worker count, and a JSON round trip.
 func TestKernelsSmoke(t *testing.T) {
 	sizes := []int{8, 48}
-	rep := Kernels(sizes)
+	workers := []int{1, 2}
+	rep := Kernels(sizes, workers)
 	wantKernels := []string{"dd-naive", "dd-tiled", "dd-nt", "dd-tn", "sd", "ds"}
-	if got, want := len(rep.Points), len(sizes)*len(wantKernels); got != want {
+	// Six single-path kernels plus one dd-par point per worker count at each
+	// size; no dd-strassen below the eligibility floor.
+	if got, want := len(rep.Points), len(sizes)*(len(wantKernels)+len(workers)); got != want {
 		t.Fatalf("%d points, want %d", got, want)
 	}
 	seen := map[string]int{}
@@ -26,7 +31,7 @@ func TestKernelsSmoke(t *testing.T) {
 			t.Errorf("%s/%d: non-positive GFLOPS", p.Kernel, p.Size)
 		}
 		switch p.Kernel {
-		case "dd-tiled", "dd-nt", "dd-tn":
+		case "dd-tiled", "dd-nt", "dd-tn", "dd-par", "dd-strassen":
 			if p.Speedup <= 0 {
 				t.Errorf("%s/%d: speedup not set", p.Kernel, p.Size)
 			}
@@ -35,11 +40,24 @@ func TestKernelsSmoke(t *testing.T) {
 				t.Errorf("%s/%d: unexpected speedup %v", p.Kernel, p.Size, p.Speedup)
 			}
 		}
+		if p.Kernel == "dd-par" {
+			if p.Workers != 1 && p.Workers != 2 {
+				t.Errorf("dd-par/%d: unexpected worker count %d", p.Size, p.Workers)
+			}
+		} else if p.Workers != 0 {
+			t.Errorf("%s/%d: unexpected workers %d", p.Kernel, p.Size, p.Workers)
+		}
 	}
 	for _, k := range wantKernels {
 		if seen[k] != len(sizes) {
 			t.Errorf("kernel %s measured %d times, want %d", k, seen[k], len(sizes))
 		}
+	}
+	if seen["dd-par"] != len(sizes)*len(workers) {
+		t.Errorf("dd-par measured %d times, want %d", seen["dd-par"], len(sizes)*len(workers))
+	}
+	if matrix.KernelWorkers() != 1 {
+		t.Errorf("Kernels left kernel workers at %d", matrix.KernelWorkers())
 	}
 
 	var buf bytes.Buffer
@@ -54,4 +72,25 @@ func TestKernelsSmoke(t *testing.T) {
 		t.Error("JSON round trip lost data")
 	}
 	WriteKernels(&buf, rep) // must not panic
+}
+
+// TestKernelsStrassenPoint checks that an eligible size emits the Strassen
+// crossover point and an ineligible one does not.
+func TestKernelsStrassenPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-block strassen measurement in -short mode")
+	}
+	rep := Kernels([]int{1024}, []int{1})
+	found := false
+	for _, p := range rep.Points {
+		if p.Kernel == "dd-strassen" {
+			found = true
+			if p.Speedup <= 0 {
+				t.Errorf("dd-strassen speedup not set")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no dd-strassen point at size 1024")
+	}
 }

@@ -1,0 +1,101 @@
+package core
+
+import "dmac/internal/matrix"
+
+// Multiply-algorithm selection: the compute-side twin of the paper's
+// communication-strategy choice. For every multiplication operator the
+// planner prices the classical tiled kernel against the Strassen recursion
+// and records the cheaper one on the plan operator; execution dispatches on
+// that choice per block product. The two decisions are orthogonal — a CPMM
+// shuffle and a Strassen block product compose freely.
+//
+// The model prices one block product, because that is the unit the executor
+// runs: a grid multiply of an n x m by m x p matrix at block size b executes
+// products of at most b-sized operands, so the effective shape is the
+// dimensions clamped to the block size.
+//
+// Classical cost is pure compute: 2nmp flops, spread over the kernel workers
+// (the parallel strips scale near-linearly). Strassen replaces one eighth of
+// the multiplies per level with half-size add passes; the multiplies still
+// scale with workers, but the add passes are memory-bound single-threaded
+// sweeps, so their cost is priced in bytes against memory bandwidth and does
+// NOT divide by the core count. More cores therefore shift the crossover
+// upward — exactly the behavior the measured crossover table shows.
+
+const (
+	// mulFlopsPerSec is the per-core throughput of the tiled kernel used for
+	// pricing (the measured BENCH_kernels.json figure, rounded).
+	mulFlopsPerSec = 1.7e10
+	// addBytesPerSec is the memory bandwidth an unblocked add/sub sweep
+	// achieves, used to price Strassen's side passes.
+	addBytesPerSec = 2.0e10
+	// strassenMargin: Strassen must be priced at least this much cheaper
+	// than classical to be picked. Near the crossover its modelled win is
+	// smaller than run-to-run timing noise on the kernel benchmark, and
+	// classical is the safe default.
+	strassenMargin = 0.9
+)
+
+// ChooseMulAlgo picks the multiply algorithm for an n x m times m x p
+// operator whose operands have the given worst-case sparsities, on an engine
+// with the given block size and kernel worker count. Sparse operands always
+// run classical: the sparse kernels have no Strassen form, and a worst-case
+// sparse estimate means the dense flop count never materializes.
+func ChooseMulAlgo(n, m, p int, aSparsity, bSparsity float64, blockSize, cores int) matrix.MulAlgo {
+	if aSparsity < sparseThreshold || bSparsity < sparseThreshold {
+		return matrix.MulClassical
+	}
+	bn, bm, bp := effDim(n, blockSize), effDim(m, blockSize), effDim(p, blockSize)
+	if !matrix.StrassenOK(bn, bm, bp) {
+		return matrix.MulClassical
+	}
+	if strassenSeconds(bn, bm, bp, cores) < strassenMargin*classicalSeconds(bn, bm, bp, cores) {
+		return matrix.MulStrassen
+	}
+	return matrix.MulClassical
+}
+
+// effDim clamps a logical dimension to the block size: block products never
+// see operands larger than one block.
+func effDim(d, blockSize int) int {
+	if blockSize > 0 && d > blockSize {
+		return blockSize
+	}
+	return d
+}
+
+// classicalSeconds prices the tiled kernel: 2nmp flops over cores.
+func classicalSeconds(n, m, p, cores int) float64 {
+	if cores < 1 {
+		cores = 1
+	}
+	return 2 * float64(n) * float64(m) * float64(p) / (float64(cores) * mulFlopsPerSec)
+}
+
+// strassenSeconds prices the Strassen recursion: the reduced multiply flops
+// scale with cores (they bottom out in the parallel tiled kernel), the add
+// passes are charged at memory bandwidth without core scaling.
+func strassenSeconds(n, m, p, cores int) float64 {
+	if cores < 1 {
+		cores = 1
+	}
+	mulFlops, addBytes := strassenWork(n, m, p)
+	return mulFlops/(float64(cores)*mulFlopsPerSec) + addBytes/addBytesPerSec
+}
+
+// strassenWork returns the multiply flops and add-pass bytes of the
+// recursion, mirroring the schedule in matrix/strassen.go: per level, seven
+// half-size products, five operand adds on each side, and twelve quadrant
+// accumulations, each pass touching three values per element (two reads, one
+// write).
+func strassenWork(n, m, p int) (mulFlops, addBytes float64) {
+	if !matrix.StrassenOK(n, m, p) {
+		return 2 * float64(n) * float64(m) * float64(p), 0
+	}
+	n2, m2, p2 := n/2, m/2, p/2
+	subMul, subAdd := strassenWork(n2, m2, p2)
+	mulFlops = 7 * subMul
+	addElems := 5*float64(n2)*float64(m2) + 5*float64(m2)*float64(p2) + 12*float64(n2)*float64(p2)
+	addBytes = 7*subAdd + 24*addElems
+	return mulFlops, addBytes
+}

@@ -325,17 +325,20 @@ func (e *Engine) rewritten(p *expr.Program) *expr.Program {
 
 // planSignature captures everything outside the program that plan
 // generation depends on: the cached schemes of the variables the program
-// reads, the worker count, the ablation flags, and whether (and under which
-// rule version) the rewrite pass canonicalized the program — so an engine
-// with rewriting off can never be served a plan cached for the rewritten
-// form, or vice versa.
+// reads, the worker count, the ablation flags, whether (and under which rule
+// version) the rewrite pass canonicalized the program, and the inputs of the
+// multiply-algorithm pick — block size and kernel worker count — so a plan
+// whose operators were priced for one kernel configuration can never be
+// served under another.
 func (e *Engine) planSignature(p *expr.Program) string {
 	rw := 0
 	if e.rewriter != nil {
 		rw = rewrite.Version
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "w=%d;pu=%v;ra=%v;cp=%v;rw=%d;", e.cluster.Workers(), e.disablePullUp, e.disableReassign, e.disableCPMM, rw)
+	fmt.Fprintf(&b, "w=%d;pu=%v;ra=%v;cp=%v;rw=%d;bs=%d;kw=%d;",
+		e.cluster.Workers(), e.disablePullUp, e.disableReassign, e.disableCPMM, rw,
+		e.blockSize, matrix.KernelWorkers())
 	for _, n := range p.Nodes() {
 		if n.Kind != expr.KindLoad && n.Kind != expr.KindVar {
 			continue
@@ -493,6 +496,8 @@ func (e *Engine) planConfig() core.Config {
 		DisablePullUp:   e.disablePullUp,
 		DisableReassign: e.disableReassign,
 		DisableCPMM:     e.disableCPMM,
+		BlockSize:       e.blockSize,
+		Cores:           matrix.KernelWorkers(),
 	}
 }
 

@@ -237,6 +237,9 @@ func (e *Engine) opSpan(plan *core.Plan, stage int, op *core.Op) obs.SpanID {
 	}
 	if op.Kind == core.OpCompute {
 		attrs = append(attrs, obs.String("strategy", op.Strategy.String()))
+		if op.Node != nil && op.Node.Kind == expr.KindMul {
+			attrs = append(attrs, obs.String("mul_algo", op.MulAlgo.String()))
+		}
 	}
 	for j, d := range op.InDeps {
 		if d != dep.NoDependency {
@@ -379,7 +382,7 @@ func (e *Engine) compute(plan *core.Plan, op *core.Op, vals []*dist.DistMatrix, 
 		if op.Strategy == core.CPMM {
 			outScheme = plan.Value(op.Output).Scheme
 		}
-		return e.cluster.Multiply(in(0), in(1), strat, outScheme, op.Stage)
+		return e.cluster.MultiplyAlgo(in(0), in(1), strat, op.MulAlgo, outScheme, op.Stage)
 	case expr.KindCell:
 		return e.cluster.Cellwise(n.BinOp, in(0), in(1))
 	case expr.KindScalar:

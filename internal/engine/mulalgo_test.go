@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dmac/internal/dist"
+	"dmac/internal/expr"
+	"dmac/internal/matrix"
+	"dmac/internal/sched"
+	"dmac/internal/workload"
+)
+
+// mulProgram builds A*B at the given logical shape and operand sparsities.
+func mulProgram(n, m, p int, aSp, bSp float64) *expr.Program {
+	pr := expr.NewProgram()
+	a := pr.Var("A", n, m, aSp)
+	b := pr.Var("B", m, p, bSp)
+	pr.Assign("out", pr.Mul(a, b))
+	return pr
+}
+
+// TestPlanSignatureEncodesKernelConfig: plans are priced from the block size
+// and the kernel worker count, so two sessions differing in either must
+// never share a plan-cache entry (the strategy-version regression the issue
+// pins).
+func TestPlanSignatureEncodesKernelConfig(t *testing.T) {
+	p := signatureProgram()
+	small := New(DMac, dist.Config{Workers: 2}, 4)
+	big := New(DMac, dist.Config{Workers: 2}, 8)
+	if small.planSignature(p) == big.planSignature(p) {
+		t.Fatalf("plan signatures identical across block sizes: %q", small.planSignature(p))
+	}
+
+	e := New(DMac, dist.Config{Workers: 2}, 4)
+	prev := matrix.SetKernelWorkers(1)
+	sig1 := e.planSignature(p)
+	matrix.SetKernelWorkers(8)
+	sig8 := e.planSignature(p)
+	matrix.SetKernelWorkers(prev)
+	if sig1 == sig8 {
+		t.Fatalf("plan signatures identical across kernel worker counts: %q", sig1)
+	}
+}
+
+// TestSignaturePrefixEncodesKernelVersion: the shared-cache key prefix must
+// carry the multiply-kernel generation so entries from a previous kernel
+// generation can never be served.
+func TestSignaturePrefixEncodesKernelVersion(t *testing.T) {
+	prefix := SignaturePrefix()
+	if !strings.Contains(prefix, "mk") {
+		t.Fatalf("prefix %q does not encode the kernel version", prefix)
+	}
+	sig := ProgramSignature(signatureProgram())
+	pc := NewPlanCache(8)
+	e := New(DMac, dist.Config{Workers: 2}, 4)
+	plan, err := e.Plan(signatureProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.Put(sig, plan)
+	// A key minted under a different kernel generation must miss.
+	legacy := strings.Replace(sig, prefix, "ps1;rw"+itoa(matrix.KernelVersion)+";mk1|", 1)
+	if legacy != sig && pc.Get(legacy) != nil {
+		t.Fatal("foreign kernel-version key hit the cache")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+// TestPlannerPicksStrassenWhereItWins: a large dense multiply at a big block
+// size gets the Strassen algorithm on its compute op (and the plan rendering
+// marks it), while small, small-blocked, or sparse multiplies stay classical.
+func TestPlannerPicksStrassenWhereItWins(t *testing.T) {
+	// Pin the kernel worker count: the pick prices core scaling, and the
+	// machine default would make the expectations hardware-dependent.
+	defer matrix.SetKernelWorkers(matrix.SetKernelWorkers(1))
+	plan := func(blockSize int, prog *expr.Program) string {
+		e := New(DMac, dist.Config{Workers: 2}, blockSize)
+		pl, err := e.Plan(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.String()
+	}
+
+	// 4096^3 dense at block size 2048: block products are 2048^3, two
+	// recursion levels past the crossover — Strassen must be picked and
+	// surfaced.
+	if s := plan(2048, mulProgram(4096, 4096, 4096, 1, 1)); !strings.Contains(s, "[strassen]") {
+		t.Fatalf("large dense multiply not planned as strassen:\n%s", s)
+	}
+	// Block products of 1024^3 are eligible but the modelled win is inside
+	// the selection margin — the near-crossover tie stays classical.
+	if s := plan(1024, mulProgram(2048, 2048, 2048, 1, 1)); strings.Contains(s, "strassen") {
+		t.Fatalf("near-crossover multiply planned as strassen:\n%s", s)
+	}
+	// Same logical shape at block size 256: block products are 256^3, below
+	// eligibility — classical.
+	if s := plan(256, mulProgram(4096, 4096, 4096, 1, 1)); strings.Contains(s, "strassen") {
+		t.Fatalf("small-blocked multiply planned as strassen:\n%s", s)
+	}
+	// Sparse operand: classical regardless of shape.
+	if s := plan(2048, mulProgram(4096, 4096, 4096, 0.01, 1)); strings.Contains(s, "strassen") {
+		t.Fatalf("sparse multiply planned as strassen:\n%s", s)
+	}
+	// Small shape: classical.
+	if s := plan(2048, mulProgram(64, 64, 64, 1, 1)); strings.Contains(s, "strassen") {
+		t.Fatalf("small multiply planned as strassen:\n%s", s)
+	}
+	// More cores shift the crossover up: the classical kernel's flops scale
+	// with workers while Strassen's add passes do not, so the same shape that
+	// wins at one worker is classical at eight.
+	matrix.SetKernelWorkers(8)
+	if s := plan(2048, mulProgram(4096, 4096, 4096, 1, 1)); strings.Contains(s, "strassen") {
+		t.Fatalf("2048-block multiply still strassen at 8 workers:\n%s", s)
+	}
+}
+
+// TestStrassenPlanExecutesCorrectly runs a Strassen-planned multiply end to
+// end through the distributed engine and checks the numbers against the
+// classical local reference.
+func TestStrassenPlanExecutesCorrectly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size strassen execution in -short mode")
+	}
+	const (
+		n  = 2064
+		bs = 2048
+	)
+	defer matrix.SetKernelWorkers(matrix.SetKernelWorkers(1))
+	prog := mulProgram(n, n, n, 1, 1)
+	e := New(DMac, dist.Config{Workers: 2, LocalParallelism: 1}, bs)
+	pl, err := e.Plan(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pl.String(), "[strassen]") {
+		t.Fatalf("test premise broken: plan is not strassen:\n%s", pl)
+	}
+	a := workload.DenseRandom(1, n, n, bs)
+	b := workload.DenseRandom(2, n, n, bs)
+	if err := e.Bind("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Bind("B", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Grid("out")
+	if !ok {
+		t.Fatal("no output grid")
+	}
+	// Classical reference computed directly on the blocks.
+	want, err := sched.NewExecutor(1, nil).MulTrans(a, b, false, false, sched.InPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 97 {
+		for j := 0; j < n; j += 89 {
+			g, w := got.At(i, j), want.At(i, j)
+			d := g - w
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-9 {
+				t.Fatalf("out[%d,%d] = %g, classical %g (diff %g)", i, j, g, w, d)
+			}
+		}
+	}
+}

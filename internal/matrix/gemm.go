@@ -21,6 +21,13 @@ import "sync"
 // transposed operand is read with swapped strides while being packed, so the
 // NT/TN/TT variants run the exact same micro-kernel as NN and never
 // materialize a transposed copy.
+//
+// Above gemmParMin flops the MC-strip loop is partitioned across the shared
+// kernel worker pool (parallel.go): the packed B strip is shared read-only,
+// every participant packs A strips into its own arena, and strips write
+// disjoint result rows, so the parallel kernel is race-free and bit-identical
+// to the serial one at every worker count (the k-panel loop — the only loop
+// whose order reaches the floating-point accumulation — stays serial).
 const (
 	// gemmMR x gemmNR is the register accumulator block of the micro-kernel.
 	gemmMR = 2
@@ -37,21 +44,28 @@ const (
 	// gemmSmall is the flop threshold (n*m*p) below which the packing
 	// overhead does not pay off and a plain strided triple loop is used.
 	gemmSmall = 32 * 32 * 32
+	// gemmParMin is the flop threshold (n*m*p) below which one multiply is
+	// not worth fanning out across the worker pool: under ~2 Mflop the
+	// per-macro-tile barrier costs more than the strips save.
+	gemmParMin = 128 * 128 * 128
 )
 
-// gemmBufs holds the packing buffers of one in-flight GEMM; pooled so
-// steady-state multiplications allocate nothing.
-type gemmBufs struct {
-	a []float64 // packed A strip, gemmMC x gemmKC
-	b []float64 // packed B strip, gemmKC x gemmNC
+// Pack-buffer arenas. The A and B halves are pooled separately because the
+// parallel kernel shares one packed B strip across all participants while
+// every participant packs A strips into its own arena; sync.Pool hands each
+// Get an exclusive buffer, which is exactly the per-worker ownership the
+// race-free packing needs. Steady-state multiplications allocate nothing.
+var gemmABufPool = sync.Pool{
+	New: func() any {
+		buf := make([]float64, gemmMC*gemmKC)
+		return &buf
+	},
 }
 
-var gemmBufPool = sync.Pool{
+var gemmBBufPool = sync.Pool{
 	New: func() any {
-		return &gemmBufs{
-			a: make([]float64, gemmMC*gemmKC),
-			b: make([]float64, gemmKC*gemmNC),
-		}
+		buf := make([]float64, gemmKC*gemmNC)
+		return &buf
 	},
 }
 
@@ -77,21 +91,49 @@ func mulAddDDTrans(dst, a, b *DenseBlock, aT, bT bool) {
 		mulAddDDSmall(dst, a, b, aT, bT)
 		return
 	}
-	bufs := gemmBufPool.Get().(*gemmBufs)
-	ldc := dst.cols
+	gemmStrided(dst.Data, dst.cols, n, p, a.Data, a.cols, aT, b.Data, b.cols, bT, m, KernelWorkers())
+}
+
+// gemmStrided is the packed tiled kernel over raw strided storage:
+// C[0:n, 0:p] (leading dimension ldc) += op(A) * op(B), where op(A) is n x m
+// read from a/lda (transposed when aT) and op(B) is m x p from b/ldb. It is
+// shared by the block entry point above and by Strassen's quadrant views,
+// which are strided sub-matrices with ld > cols.
+func gemmStrided(c []float64, ldc, n, p int, a []float64, lda int, aT bool, b []float64, ldb int, bT bool, m, workers int) {
+	bbufp := gemmBBufPool.Get().(*[]float64)
+	bbuf := *bbufp
+	iStrips := (n + gemmMC - 1) / gemmMC
+	parallel := workers > 1 && iStrips > 1 && n*m*p >= gemmParMin
+	var abufp *[]float64
+	if !parallel {
+		abufp = gemmABufPool.Get().(*[]float64)
+	}
 	for k0 := 0; k0 < m; k0 += gemmKC {
 		kw := min(gemmKC, m-k0)
 		for j0 := 0; j0 < p; j0 += gemmNC {
 			jw := min(gemmNC, p-j0)
-			gemmPackB(bufs.b, b, bT, k0, kw, j0, jw)
+			gemmPackB(bbuf, b, ldb, bT, k0, kw, j0, jw)
+			if parallel {
+				k0, j0, kw, jw := k0, j0, kw, jw
+				parallelStrips(iStrips, workers, func(s int, abuf []float64) {
+					i0 := s * gemmMC
+					iw := min(gemmMC, n-i0)
+					gemmPackA(abuf, a, lda, aT, i0, iw, k0, kw)
+					gemmMacro(c, ldc, i0, j0, iw, jw, kw, abuf, bbuf)
+				})
+				continue
+			}
 			for i0 := 0; i0 < n; i0 += gemmMC {
 				iw := min(gemmMC, n-i0)
-				gemmPackA(bufs.a, a, aT, i0, iw, k0, kw)
-				gemmMacro(dst.Data, ldc, i0, j0, iw, jw, kw, bufs.a, bufs.b)
+				gemmPackA(*abufp, a, lda, aT, i0, iw, k0, kw)
+				gemmMacro(c, ldc, i0, j0, iw, jw, kw, *abufp, bbuf)
 			}
 		}
 	}
-	gemmBufPool.Put(bufs)
+	if abufp != nil {
+		gemmABufPool.Put(abufp)
+	}
+	gemmBBufPool.Put(bbufp)
 }
 
 // mulAddDDSmall is the unpacked fallback for shapes too small to amortize
@@ -100,47 +142,53 @@ func mulAddDDTrans(dst, a, b *DenseBlock, aT, bT bool) {
 func mulAddDDSmall(dst, a, b *DenseBlock, aT, bT bool) {
 	n, m := transDims(a, aT)
 	_, p := transDims(b, bT)
-	ra, ca := a.cols, 1
+	mulAddSmallStrided(dst.Data, dst.cols, n, m, p, a.Data, a.cols, aT, b.Data, b.cols, bT)
+}
+
+// mulAddSmallStrided is the strided triple loop over raw storage, shared by
+// the small-block fallback and Strassen's peeling leaves.
+func mulAddSmallStrided(c []float64, ldc, n, m, p int, a []float64, lda int, aT bool, b []float64, ldb int, bT bool) {
+	ra, ca := lda, 1
 	if aT {
-		ra, ca = 1, a.cols
+		ra, ca = 1, lda
 	}
-	rb, cb := b.cols, 1
+	rb, cb := ldb, 1
 	if bT {
-		rb, cb = 1, b.cols
+		rb, cb = 1, ldb
 	}
 	for i := 0; i < n; i++ {
-		drow := dst.Data[i*p : (i+1)*p]
+		drow := c[i*ldc : i*ldc+p]
 		for k := 0; k < m; k++ {
-			av := a.Data[i*ra+k*ca]
+			av := a[i*ra+k*ca]
 			bbase := k * rb
 			if cb == 1 {
-				brow := b.Data[bbase : bbase+p]
+				brow := b[bbase : bbase+p]
 				for j, bv := range brow {
 					drow[j] += av * bv
 				}
 			} else {
 				for j := 0; j < p; j++ {
-					drow[j] += av * b.Data[bbase+j*cb]
+					drow[j] += av * b[bbase+j*cb]
 				}
 			}
 		}
 	}
 }
 
-// gemmPackA packs the iw x kw strip of op(a) starting at (i0, k0) into
+// gemmPackA packs the iw x kw strip of op(A) starting at (i0, k0) into
 // micro-panels of gemmMR rows, k-major within a panel:
-// buf[panel*gemmMR*kw + k*gemmMR + r] = op(a)[i0+panel*gemmMR+r, k0+k].
-// Ragged panels are zero-padded so the micro-kernel never branches on row
-// count.
-func gemmPackA(buf []float64, a *DenseBlock, aT bool, i0, iw, k0, kw int) {
-	lda := a.cols
+// buf[panel*gemmMR*kw + k*gemmMR + r] = op(A)[i0+panel*gemmMR+r, k0+k],
+// where op(A) is read from the strided storage a with leading dimension lda
+// (swapped strides when aT). Ragged panels are zero-padded so the
+// micro-kernel never branches on row count.
+func gemmPackA(buf []float64, a []float64, lda int, aT bool, i0, iw, k0, kw int) {
 	for ip := 0; ip < iw; ip += gemmMR {
 		panel := buf[(ip/gemmMR)*gemmMR*kw:]
 		ir := min(gemmMR, iw-ip)
 		if aT {
-			// op(a)[i,k] = a[k,i]: one stored row feeds one k slot.
+			// op(A)[i,k] = A[k,i]: one stored row feeds one k slot.
 			for k := 0; k < kw; k++ {
-				row := a.Data[(k0+k)*lda+i0+ip:]
+				row := a[(k0+k)*lda+i0+ip:]
 				for r := 0; r < ir; r++ {
 					panel[k*gemmMR+r] = row[r]
 				}
@@ -151,7 +199,7 @@ func gemmPackA(buf []float64, a *DenseBlock, aT bool, i0, iw, k0, kw int) {
 			continue
 		}
 		for r := 0; r < ir; r++ {
-			row := a.Data[(i0+ip+r)*lda+k0:]
+			row := a[(i0+ip+r)*lda+k0:]
 			for k := 0; k < kw; k++ {
 				panel[k*gemmMR+r] = row[k]
 			}
@@ -164,18 +212,18 @@ func gemmPackA(buf []float64, a *DenseBlock, aT bool, i0, iw, k0, kw int) {
 	}
 }
 
-// gemmPackB packs the kw x jw strip of op(b) starting at (k0, j0) into
+// gemmPackB packs the kw x jw strip of op(B) starting at (k0, j0) into
 // micro-panels of gemmNR columns, k-major within a panel:
-// buf[panel*gemmNR*kw + k*gemmNR + c] = op(b)[k0+k, j0+panel*gemmNR+c].
-func gemmPackB(buf []float64, b *DenseBlock, bT bool, k0, kw, j0, jw int) {
-	ldb := b.cols
+// buf[panel*gemmNR*kw + k*gemmNR + c] = op(B)[k0+k, j0+panel*gemmNR+c],
+// reading the strided storage b with leading dimension ldb.
+func gemmPackB(buf []float64, b []float64, ldb int, bT bool, k0, kw, j0, jw int) {
 	for jp := 0; jp < jw; jp += gemmNR {
 		panel := buf[(jp/gemmNR)*gemmNR*kw:]
 		jr := min(gemmNR, jw-jp)
 		if bT {
-			// op(b)[k,j] = b[j,k]: one stored row feeds one column slot.
+			// op(B)[k,j] = B[j,k]: one stored row feeds one column slot.
 			for c := 0; c < jr; c++ {
-				row := b.Data[(j0+jp+c)*ldb+k0:]
+				row := b[(j0+jp+c)*ldb+k0:]
 				for k := 0; k < kw; k++ {
 					panel[k*gemmNR+c] = row[k]
 				}
@@ -188,7 +236,7 @@ func gemmPackB(buf []float64, b *DenseBlock, bT bool, k0, kw, j0, jw int) {
 			continue
 		}
 		for k := 0; k < kw; k++ {
-			row := b.Data[(k0+k)*ldb:]
+			row := b[(k0+k)*ldb:]
 			for c := 0; c < jr; c++ {
 				panel[k*gemmNR+c] = row[j0+jp+c]
 			}

@@ -23,8 +23,11 @@ var gemmDims = []int{0, 1, 2, 3, 5, 17, 33, 40, 69, 70}
 
 // TestMulAddTransDifferential fuzzes every kernel path (DD tiled and small,
 // SD, DS, SS, each under all four transpose combinations) against the generic
-// oracle on random shapes and densities.
+// oracle on random shapes and densities, rotating the kernel worker count and
+// the multiply algorithm so the parallel and Strassen dispatch paths see the
+// same shape soup as the serial classical one.
 func TestMulAddTransDifferential(t *testing.T) {
+	defer SetKernelWorkers(SetKernelWorkers(1))
 	rng := rand.New(rand.NewSource(42))
 	mk := func(r, c int, kind int) Block {
 		switch kind {
@@ -50,8 +53,10 @@ func TestMulAddTransDifferential(t *testing.T) {
 		}
 		a := mk(ar, ac, aKind)
 		b := mk(br, bc, bKind)
+		SetKernelWorkers([]int{1, 2, 4}[rng.Intn(3)])
+		algo := MulAlgo(rng.Intn(2))
 		dst := NewDense(n, p)
-		if err := MulAddTransInto(dst, a, b, aT, bT); err != nil {
+		if err := MulAddTransAlgoInto(dst, a, b, aT, bT, algo); err != nil {
 			t.Fatalf("iter %d (%dx%dx%d aT=%v bT=%v): %v", iter, n, m, p, aT, bT, err)
 		}
 		want := refMulTrans(a, b, aT, bT)
@@ -231,7 +236,7 @@ func TestGemmPackRoundTrip(t *testing.T) {
 		rows, cols := transDims(a, aT)
 		iw, kw := rows, cols
 		buf := make([]float64, ((iw+gemmMR-1)/gemmMR)*gemmMR*kw)
-		gemmPackA(buf, a, aT, 0, iw, 0, kw)
+		gemmPackA(buf, a.Data, a.cols, aT, 0, iw, 0, kw)
 		at := func(i, k int) float64 {
 			if aT {
 				return a.At(k, i)
@@ -258,7 +263,7 @@ func TestGemmPackRoundTrip(t *testing.T) {
 		rows, cols := transDims(b, bT)
 		kw, jw := rows, cols
 		buf := make([]float64, ((jw+gemmNR-1)/gemmNR)*gemmNR*kw)
-		gemmPackB(buf, b, bT, 0, kw, 0, jw)
+		gemmPackB(buf, b.Data, b.cols, bT, 0, kw, 0, jw)
 		bt := func(k, j int) float64 {
 			if bT {
 				return b.At(j, k)

@@ -1,0 +1,135 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-op parallelism for the dense kernels.
+//
+// One multiply is split into independent MC-strip tasks (disjoint result
+// rows) executed by a single shared worker pool. The pool is bounded and
+// long-lived: goroutines are spawned lazily up to the requested worker count
+// and then reused for every subsequent kernel call, so steady-state
+// multiplications start no goroutines. The submitting goroutine always
+// participates in its own job, which makes the scheme deadlock-free even
+// when kernels nest under the block executor's own task pool: a busy pool
+// merely means the caller computes its strips itself.
+//
+// Each participant acquires its own A pack buffer for the duration of one
+// job (per-worker arenas), so the pooled packing stays race-free while the
+// shared packed-B strip is read-only. Strips own disjoint destination rows
+// and the k-panel loop stays serial in the caller, so every output element
+// accumulates its products in exactly the serial order: results are
+// bit-identical to the single-worker kernel at every worker count.
+
+// maxKernelWorkers bounds the shared pool. It intentionally exceeds any real
+// core count so worker-scaling experiments can oversubscribe a small machine.
+const maxKernelWorkers = 64
+
+// kernelWorkers is the target intra-op parallelism of one dense multiply.
+var kernelWorkers atomic.Int32
+
+func init() {
+	kernelWorkers.Store(int32(clampWorkers(runtime.GOMAXPROCS(0))))
+}
+
+func clampWorkers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxKernelWorkers {
+		return maxKernelWorkers
+	}
+	return n
+}
+
+// SetKernelWorkers sets the number of workers one dense multiply is split
+// across (clamped to [1, 64]) and returns the previous value. The default is
+// GOMAXPROCS. One worker selects the serial kernel; results are bit-identical
+// at every setting.
+func SetKernelWorkers(n int) int {
+	return int(kernelWorkers.Swap(int32(clampWorkers(n))))
+}
+
+// KernelWorkers returns the current intra-op parallelism of dense multiplies.
+func KernelWorkers() int { return int(kernelWorkers.Load()) }
+
+// stripJob is one parallel strip sweep: tasks [0, n) claimed off an atomic
+// counter by every participant (the caller plus any pool workers that pick
+// the job up).
+type stripJob struct {
+	n    int32
+	next atomic.Int32
+	wg   sync.WaitGroup
+	// fn computes strip i using a participant-owned A pack buffer.
+	fn func(i int, abuf []float64)
+}
+
+// run claims strips until the job is exhausted. The buffer is acquired only
+// after winning a first strip, so a stale pickup of a finished job touches no
+// pool state.
+func (j *stripJob) run() {
+	i := j.next.Add(1) - 1
+	if i >= j.n {
+		return
+	}
+	abufp := gemmABufPool.Get().(*[]float64)
+	for ; i < j.n; i = j.next.Add(1) - 1 {
+		j.fn(int(i), *abufp)
+		j.wg.Done()
+	}
+	gemmABufPool.Put(abufp)
+}
+
+var (
+	gemmPoolOnce    sync.Once
+	gemmJobs        chan *stripJob
+	gemmPoolWorkers atomic.Int32
+)
+
+// ensureGemmWorkers lazily grows the shared pool so at least n helper
+// goroutines exist (bounded by maxKernelWorkers). Workers are never torn
+// down; an idle pool costs only parked goroutines.
+func ensureGemmWorkers(n int) {
+	gemmPoolOnce.Do(func() {
+		gemmJobs = make(chan *stripJob, maxKernelWorkers)
+	})
+	for int(gemmPoolWorkers.Load()) < n {
+		id := gemmPoolWorkers.Add(1)
+		if id > maxKernelWorkers {
+			gemmPoolWorkers.Add(-1)
+			return
+		}
+		go func() {
+			for j := range gemmJobs {
+				j.run()
+			}
+		}()
+	}
+}
+
+// parallelStrips runs fn(i, abuf) for every strip i in [0, n) across at most
+// `workers` participants and blocks until all strips completed. Helper
+// pickups are best-effort (non-blocking sends): under pool contention the
+// caller simply computes more strips itself.
+func parallelStrips(n, workers int, fn func(i int, abuf []float64)) {
+	j := &stripJob{n: int32(n), fn: fn}
+	j.wg.Add(n)
+	helpers := workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	ensureGemmWorkers(helpers)
+offer:
+	for h := 0; h < helpers; h++ {
+		select {
+		case gemmJobs <- j:
+		default:
+			break offer // pool saturated; the caller computes the rest
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}

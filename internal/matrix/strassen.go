@@ -1,0 +1,259 @@
+package matrix
+
+import "sync"
+
+// Strassen multiplication over quadrant views.
+//
+// The recursion trades one multiply for extra additions: each level runs
+// seven half-size products instead of eight, so the multiply flop count
+// drops by (7/8)^levels while add passes grow linearly. Quadrants are strided
+// views into the parent storage (no copies); odd dimensions are handled by
+// dynamic peeling — the recursion covers the even-truncated core and exact
+// rank-1 / matvec / vecmat fixups cover the peeled row, column and inner
+// index. Recursion bottoms out into the tiled (and, for large leaves,
+// parallel) GEMM of gemm.go once any dimension falls under
+// 2*StrassenCrossover.
+//
+// Accuracy: Strassen's operand additions grow the error bound from the
+// classical O(m)*eps to O(m^~1.2)*eps. The differential suite pins the
+// observed error vs the classical kernel at <= 1e-9 for unit-scale inputs,
+// and the planner only selects Strassen for shapes where the flop savings
+// are material.
+
+// sview is an n x p window into row-major storage with leading dimension ld.
+// d[0] is the (0,0) element of the window.
+type sview struct {
+	d  []float64
+	ld int
+}
+
+// strassenBufPool recycles the recursion's temporaries (the per-level operand
+// scratches and product accumulator, and the top-level result scratch).
+// Fresh allocations of these cost more than they look: Go zeroes every new
+// slice and the first touch faults the pages in, which at large block sizes
+// is tens of megabytes of hidden memory traffic per multiply — a material
+// slice of exactly the add-pass budget Strassen has to stay inside. Reused
+// buffers skip both; the callers that need zeroed contents clear explicitly.
+var strassenBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// strassenTake returns an uninitialized length-n scratch and its pool token.
+// Contents are arbitrary: callers either overwrite fully or clear first.
+func strassenTake(n int) ([]float64, *[]float64) {
+	bp := strassenBufPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	return (*bp)[:n:n], bp
+}
+
+// quad returns the view shifted by (i, j).
+func (v sview) quad(i, j int) sview {
+	return sview{d: v.d[i*v.ld+j:], ld: v.ld}
+}
+
+// strassenMulAdd computes dst += op(a) * op(b) via the Strassen recursion.
+// Transposed operands are materialized once (an exact permutation, no
+// rounding) so the recursion and its fixups always read plain row-major
+// views. Products accumulate in a zeroed scratch which is added to dst at
+// the end, keeping the += contract of the classical kernels.
+func strassenMulAdd(dst, a, b *DenseBlock, aT, bT bool) {
+	if aT {
+		a = transposed(a)
+	}
+	if bT {
+		b = transposed(b)
+	}
+	n, m, p := a.rows, a.cols, b.cols
+	cd, ctok := strassenTake(n * p)
+	for i := range cd {
+		cd[i] = 0
+	}
+	strassenRec(sview{d: cd, ld: p}, sview{d: a.Data, ld: a.cols}, sview{d: b.Data, ld: b.cols}, n, m, p)
+	for i := range dst.Data {
+		dst.Data[i] += cd[i]
+	}
+	strassenBufPool.Put(ctok)
+}
+
+// transposed returns a newly allocated transpose of x.
+func transposed(x *DenseBlock) *DenseBlock {
+	t := NewDense(x.cols, x.rows)
+	for i := 0; i < x.rows; i++ {
+		row := x.Data[i*x.cols : (i+1)*x.cols]
+		for j, v := range row {
+			t.Data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// strassenRec computes c += a*b for an n x m times m x p product over
+// strided views.
+func strassenRec(c, a, b sview, n, m, p int) {
+	if n < 2*StrassenCrossover || m < 2*StrassenCrossover || p < 2*StrassenCrossover {
+		strassenLeaf(c, a, b, n, m, p)
+		return
+	}
+	strassenStep(c, a, b, n, m, p, strassenRec)
+}
+
+// strassenStep runs one Strassen level — quadrant schedule plus odd-dim
+// peeling — delegating sub-products to rec. Split out from strassenRec so
+// tests can recurse with a reduced crossover.
+func strassenStep(c, a, b sview, n, m, p int, rec func(c, a, b sview, n, m, p int)) {
+	n2, m2, p2 := n/2, m/2, p/2
+	ne, me, pe := 2*n2, 2*m2, 2*p2
+
+	a11, a12 := a.quad(0, 0), a.quad(0, m2)
+	a21, a22 := a.quad(n2, 0), a.quad(n2, m2)
+	b11, b12 := b.quad(0, 0), b.quad(0, p2)
+	b21, b22 := b.quad(m2, 0), b.quad(m2, p2)
+	c11, c12 := c.quad(0, 0), c.quad(0, p2)
+	c21, c22 := c.quad(n2, 0), c.quad(n2, p2)
+
+	// Three temporaries per level: an operand scratch for each side and one
+	// product accumulator. Each M_i is computed fresh and folded into the C
+	// quadrants it contributes to. Pooled, never zeroed: t1/t2 are written
+	// in full before any read, and mm is cleared per product below.
+	t1d, t1tok := strassenTake(n2 * m2)
+	t2d, t2tok := strassenTake(m2 * p2)
+	mmd, mmtok := strassenTake(n2 * p2)
+	t1 := sview{d: t1d, ld: m2}
+	t2 := sview{d: t2d, ld: p2}
+	mm := sview{d: mmd, ld: p2}
+	defer func() {
+		strassenBufPool.Put(t1tok)
+		strassenBufPool.Put(t2tok)
+		strassenBufPool.Put(mmtok)
+	}()
+
+	product := func(x, y sview) {
+		clearView(mm, n2, p2)
+		rec(mm, x, y, n2, m2, p2)
+	}
+
+	// M1 = (A11+A22)(B11+B22) -> C11, C22
+	addViews(t1, a11, a22, n2, m2)
+	addViews(t2, b11, b22, m2, p2)
+	product(t1, t2)
+	accView(c11, mm, n2, p2, 1)
+	accView(c22, mm, n2, p2, 1)
+	// M2 = (A21+A22) B11 -> C21, -C22
+	addViews(t1, a21, a22, n2, m2)
+	product(t1, b11)
+	accView(c21, mm, n2, p2, 1)
+	accView(c22, mm, n2, p2, -1)
+	// M3 = A11 (B12-B22) -> C12, C22
+	subViews(t2, b12, b22, m2, p2)
+	product(a11, t2)
+	accView(c12, mm, n2, p2, 1)
+	accView(c22, mm, n2, p2, 1)
+	// M4 = A22 (B21-B11) -> C11, C21
+	subViews(t2, b21, b11, m2, p2)
+	product(a22, t2)
+	accView(c11, mm, n2, p2, 1)
+	accView(c21, mm, n2, p2, 1)
+	// M5 = (A11+A12) B22 -> -C11, C12
+	addViews(t1, a11, a12, n2, m2)
+	product(t1, b22)
+	accView(c11, mm, n2, p2, -1)
+	accView(c12, mm, n2, p2, 1)
+	// M6 = (A21-A11)(B11+B12) -> C22
+	subViews(t1, a21, a11, n2, m2)
+	addViews(t2, b11, b12, m2, p2)
+	product(t1, t2)
+	accView(c22, mm, n2, p2, 1)
+	// M7 = (A12-A22)(B21+B22) -> C11
+	subViews(t1, a12, a22, n2, m2)
+	addViews(t2, b21, b22, m2, p2)
+	product(t1, t2)
+	accView(c11, mm, n2, p2, 1)
+
+	// Dynamic peeling fixups for odd dimensions. Together they cover every
+	// (i, k, j) index with odd coordinate exactly once:
+	//   odd m: the peeled inner index over the even core -> rank-1 update;
+	//   odd p: the peeled result column over rows [0, ne), full m;
+	//   odd n: the peeled result row over all columns, full m.
+	if m != me {
+		for i := 0; i < ne; i++ {
+			av := a.d[i*a.ld+me]
+			crow := c.d[i*c.ld : i*c.ld+pe]
+			brow := b.d[me*b.ld : me*b.ld+pe]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	if p != pe {
+		for i := 0; i < ne; i++ {
+			var s float64
+			arow := a.d[i*a.ld : i*a.ld+m]
+			for k, av := range arow {
+				s += av * b.d[k*b.ld+pe]
+			}
+			c.d[i*c.ld+pe] += s
+		}
+	}
+	if n != ne {
+		mulAddSmallStrided(c.d[ne*c.ld:], c.ld, 1, m, p, a.d[ne*a.ld:], a.ld, false, b.d, b.ld, false)
+	}
+}
+
+// strassenLeaf runs the classical strided kernel on a view triple.
+func strassenLeaf(c, a, b sview, n, m, p int) {
+	if n*m*p < gemmSmall {
+		mulAddSmallStrided(c.d, c.ld, n, m, p, a.d, a.ld, false, b.d, b.ld, false)
+		return
+	}
+	gemmStrided(c.d, c.ld, n, p, a.d, a.ld, false, b.d, b.ld, false, m, KernelWorkers())
+}
+
+func clearView(v sview, n, p int) {
+	for i := 0; i < n; i++ {
+		row := v.d[i*v.ld : i*v.ld+p]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// addViews writes dst = x + y over an n x p window.
+func addViews(dst, x, y sview, n, p int) {
+	for i := 0; i < n; i++ {
+		drow := dst.d[i*dst.ld : i*dst.ld+p]
+		xrow := x.d[i*x.ld : i*x.ld+p]
+		yrow := y.d[i*y.ld : i*y.ld+p]
+		for j := range drow {
+			drow[j] = xrow[j] + yrow[j]
+		}
+	}
+}
+
+// subViews writes dst = x - y over an n x p window.
+func subViews(dst, x, y sview, n, p int) {
+	for i := 0; i < n; i++ {
+		drow := dst.d[i*dst.ld : i*dst.ld+p]
+		xrow := x.d[i*x.ld : i*x.ld+p]
+		yrow := y.d[i*y.ld : i*y.ld+p]
+		for j := range drow {
+			drow[j] = xrow[j] - yrow[j]
+		}
+	}
+}
+
+// accView accumulates dst += sign * m over an n x p window.
+func accView(dst, m sview, n, p, sign int) {
+	for i := 0; i < n; i++ {
+		drow := dst.d[i*dst.ld : i*dst.ld+p]
+		mrow := m.d[i*m.ld : i*m.ld+p]
+		if sign > 0 {
+			for j := range drow {
+				drow[j] += mrow[j]
+			}
+		} else {
+			for j := range drow {
+				drow[j] -= mrow[j]
+			}
+		}
+	}
+}

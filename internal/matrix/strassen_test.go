@@ -1,0 +1,230 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// strassenTol is the accuracy contract of the Strassen path: for unit-scale
+// inputs the result must agree with the classical tiled kernel to 1e-9 in
+// every element.
+const strassenTol = 1e-9
+
+func maxAbsDiff(x, y []float64) float64 {
+	var worst float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// strassenVsClassical computes dst += op(a)*op(b) both ways and returns the
+// worst element difference. It drops the crossover temporarily so small test
+// shapes still exercise real recursion levels.
+func strassenVsClassical(t *testing.T, a, b *DenseBlock, aT, bT bool) float64 {
+	t.Helper()
+	n, m := transDims(a, aT)
+	mb, p := transDims(b, bT)
+	if m != mb {
+		t.Fatalf("bad test shape: %dx%d * %dx%d", n, m, mb, p)
+	}
+	want := NewDense(n, p)
+	if err := MulAddTransInto(want, a, b, aT, bT); err != nil {
+		t.Fatal(err)
+	}
+	got := NewDense(n, p)
+	strassenMulAdd(got, a, b, aT, bT)
+	return maxAbsDiff(got.Data, want.Data)
+}
+
+// TestStrassenMatchesClassical covers seeded random shapes — even, odd in
+// every dimension combination, and strongly rectangular — across all four
+// transpose variants, at a reduced crossover so multiple recursion levels
+// run.
+func TestStrassenMatchesClassical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shapes := [][3]int{
+		{128, 128, 128},
+		{127, 129, 131}, // odd at every level
+		{130, 62, 190},
+		{256, 64, 64},
+		{64, 256, 64},
+		{95, 97, 93},
+		{256, 256, 256},
+	}
+	for _, sh := range shapes {
+		n, m, p := sh[0], sh[1], sh[2]
+		for _, tr := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+			aT, bT := tr[0], tr[1]
+			ar, ac := n, m
+			if aT {
+				ar, ac = m, n
+			}
+			br, bc := m, p
+			if bT {
+				br, bc = p, m
+			}
+			a := randDense(rng, ar, ac)
+			b := randDense(rng, br, bc)
+			if d := strassenTestDiff(t, a, b, aT, bT); d > strassenTol {
+				t.Fatalf("%dx%dx%d aT=%v bT=%v: |strassen-classical| = %g > %g", n, m, p, aT, bT, d, strassenTol)
+			}
+		}
+	}
+}
+
+// strassenTestDiff runs strassenVsClassical with the recursion forced on by
+// calling strassenRec directly at a small threshold.
+func strassenTestDiff(t *testing.T, a, b *DenseBlock, aT, bT bool) float64 {
+	t.Helper()
+	n, m := transDims(a, aT)
+	_, p := transDims(b, bT)
+	want := NewDense(n, p)
+	if err := MulAddTransInto(want, a, b, aT, bT); err != nil {
+		t.Fatal(err)
+	}
+	am, bm := a, b
+	if aT {
+		am = transposed(a)
+	}
+	if bT {
+		bm = transposed(b)
+	}
+	got := NewDense(n, p)
+	strassenRecAt(sview{d: got.Data, ld: p}, sview{d: am.Data, ld: am.cols}, sview{d: bm.Data, ld: bm.cols}, n, m, p, 16)
+	return maxAbsDiff(got.Data, want.Data)
+}
+
+// strassenRecAt is strassenRec with an explicit crossover, for tests that
+// need recursion on small shapes.
+func strassenRecAt(c, a, b sview, n, m, p, crossover int) {
+	if n < 2*crossover || m < 2*crossover || p < 2*crossover {
+		strassenLeaf(c, a, b, n, m, p)
+		return
+	}
+	strassenStep(c, a, b, n, m, p, func(c, a, b sview, n, m, p int) {
+		strassenRecAt(c, a, b, n, m, p, crossover)
+	})
+}
+
+// TestStrassenFullSize runs one production-path multiply above the real
+// crossover so strassenMulAdd itself (materialization, scratch add, real
+// recursion) is exercised end to end.
+func TestStrassenFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size strassen in -short mode")
+	}
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 1027, 1025)
+	b := randDense(rng, 1025, 1029)
+	if d := strassenVsClassical(t, a, b, false, false); d > strassenTol {
+		t.Fatalf("|strassen-classical| = %g > %g", d, strassenTol)
+	}
+}
+
+// TestStrassenAdversarial hits tiny, rank-deficient and adversarially scaled
+// inputs: zero blocks, identical rows (rank 1), and mixed magnitudes.
+func TestStrassenAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, m, p := 96, 96, 96
+
+	zero := NewDense(n, m)
+	b := randDense(rng, m, p)
+	if d := strassenTestDiff(t, zero, b, false, false); d != 0 {
+		t.Fatalf("zero * B: diff %g, want exact 0", d)
+	}
+
+	rank1 := NewDense(n, m)
+	row := make([]float64, m)
+	for j := range row {
+		row[j] = rng.Float64()*2 - 1
+	}
+	for i := 0; i < n; i++ {
+		copy(rank1.Data[i*m:(i+1)*m], row)
+	}
+	if d := strassenTestDiff(t, rank1, b, false, false); d > strassenTol {
+		t.Fatalf("rank-1 A: diff %g > %g", d, strassenTol)
+	}
+
+	mixed := randDense(rng, n, m)
+	for i := range mixed.Data {
+		if i%7 == 0 {
+			mixed.Data[i] *= 1e6
+		}
+	}
+	if d := strassenTestDiff(t, mixed, b, false, false); d > strassenTol*1e6 {
+		t.Fatalf("mixed-scale A: diff %g > %g", d, strassenTol*1e6)
+	}
+}
+
+// TestStrassenAccumulates checks the += contract: a non-zero destination
+// must keep its prior contents.
+func TestStrassenAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, m, p := 96, 96, 96
+	a := randDense(rng, n, m)
+	b := randDense(rng, m, p)
+	base := randDense(rng, n, p)
+
+	want := NewDense(n, p)
+	copy(want.Data, base.Data)
+	if err := MulAddTransInto(want, a, b, false, false); err != nil {
+		t.Fatal(err)
+	}
+	got := NewDense(n, p)
+	copy(got.Data, base.Data)
+	strassenMulAdd(got, a, b, false, false)
+	if d := maxAbsDiff(got.Data, want.Data); d > strassenTol {
+		t.Fatalf("accumulation diff %g > %g", d, strassenTol)
+	}
+}
+
+// TestStrassenOK pins the eligibility rule the planner relies on.
+func TestStrassenOK(t *testing.T) {
+	lim := 2 * StrassenCrossover
+	cases := []struct {
+		n, m, p int
+		want    bool
+	}{
+		{lim, lim, lim, true},
+		{lim - 1, lim, lim, false},
+		{lim, lim - 1, lim, false},
+		{lim, lim, lim - 1, false},
+		{4 * lim, lim, lim, true},
+	}
+	for _, c := range cases {
+		if got := StrassenOK(c.n, c.m, c.p); got != c.want {
+			t.Fatalf("StrassenOK(%d,%d,%d) = %v, want %v", c.n, c.m, c.p, got, c.want)
+		}
+	}
+}
+
+// TestMulAddTransAlgoIntoFallback: the strassen algo must silently run
+// classical for ineligible shapes and sparse operands.
+func TestMulAddTransAlgoIntoFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randDense(rng, 40, 40)
+	b := randDense(rng, 40, 40)
+	want := NewDense(40, 40)
+	if err := MulAddTransInto(want, a, b, false, false); err != nil {
+		t.Fatal(err)
+	}
+	got := NewDense(40, 40)
+	if err := MulAddTransAlgoInto(got, a, b, false, false, MulStrassen); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("ineligible shape with MulStrassen must be bit-identical to classical")
+		}
+	}
+}
+
+func TestMulAlgoString(t *testing.T) {
+	if MulClassical.String() != "classical" || MulStrassen.String() != "strassen" {
+		t.Fatalf("MulAlgo strings: %q, %q", MulClassical, MulStrassen)
+	}
+}

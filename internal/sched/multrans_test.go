@@ -97,6 +97,27 @@ func TestMulTransKernelMetrics(t *testing.T) {
 	if got, ok := snap.Gauges["kernel.mul.gflops"]; !ok || got <= 0 {
 		t.Errorf("kernel.mul.gflops gauge = %v (present=%v), want > 0", got, ok)
 	}
+	cs := snap.CounterVecs["kernel.strategy.count"]
+	if len(cs) != 1 || cs[0].Labels["strategy"] != "classical" || cs[0].Value != 1 {
+		t.Errorf("kernel.strategy.count = %+v, want one classical=1 child", cs)
+	}
+	if got, ok := snap.Gauges["kernel.workers"]; !ok || got < 1 {
+		t.Errorf("kernel.workers gauge = %v (present=%v), want >= 1", got, ok)
+	}
+
+	// An explicit Strassen dispatch lands under its own strategy label even
+	// when the shape falls back to the classical kernels.
+	if _, err := e.MulTransAlgo(a, b, false, false, InPlace, matrix.MulStrassen); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	strategies := map[string]int64{}
+	for _, c := range snap.CounterVecs["kernel.strategy.count"] {
+		strategies[c.Labels["strategy"]] = c.Value
+	}
+	if strategies["classical"] != 1 || strategies["strassen"] != 1 {
+		t.Errorf("kernel.strategy.count children = %v, want classical=1 strassen=1", strategies)
+	}
 }
 
 // TestBufferPoolBestFit: with two pooled blocks of different capacity, a

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dmac/internal/matrix"
 )
@@ -12,18 +14,36 @@ import (
 // block (Detach). Pooled blocks are accounted against the memory tracker
 // while they live in the pool.
 //
+// The free list is sharded so the executor's worker threads (and nested
+// kernel workers) do not serialize on one mutex: acquires and releases
+// rotate over the shards, and an acquire that misses its shard steals from
+// the others before allocating fresh, so blocks released on any shard stay
+// reusable everywhere. Within a shard, acquisition is best fit — first fit
+// could hand a huge backing array to a tiny request and then allocate fresh
+// for the next big one, so the smallest sufficient array is taken instead.
+//
 // All accounting uses the full backing-array footprint (DenseBlock.CapBytes):
 // a recycled block can carry slack capacity from a larger previous life, and
 // charging the logical rows*cols while the pool charged cap(Data) would leak
 // phantom bytes on every oversized reuse.
 type BufferPool struct {
-	mu      sync.Mutex
-	free    []*matrix.DenseBlock
+	shards  []poolShard
+	next    atomic.Uint32
+	idle    atomic.Int32
+	allocs  atomic.Int64
 	maxIdle int
 	mem     *MemTracker
 }
 
-// NewBufferPool creates a pool that retains at most maxIdle free blocks.
+type poolShard struct {
+	mu   sync.Mutex
+	free []*matrix.DenseBlock
+	// padding to keep neighboring shards off one cache line
+	_ [40]byte
+}
+
+// NewBufferPool creates a pool that retains at most maxIdle free blocks in
+// total across all shards.
 func NewBufferPool(maxIdle int, mem *MemTracker) *BufferPool {
 	if maxIdle < 1 {
 		maxIdle = 1
@@ -31,59 +51,119 @@ func NewBufferPool(maxIdle int, mem *MemTracker) *BufferPool {
 	if mem == nil {
 		mem = NewMemTracker()
 	}
-	return &BufferPool{maxIdle: maxIdle, mem: mem}
+	shards := runtime.GOMAXPROCS(0)
+	if shards > maxIdle {
+		shards = maxIdle
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return &BufferPool{shards: make([]poolShard, shards), maxIdle: maxIdle, mem: mem}
 }
 
-// Acquire returns a zeroed rows x cols dense block, reusing the pooled block
-// with the smallest sufficient backing array (best fit). First fit could hand
-// a huge block to a tiny request and then allocate fresh for the next big
-// request; best fit keeps large pooled arrays available for the requests
-// that need them.
+// Acquire returns a zeroed rows x cols dense block, reusing the pooled
+// backing array with the smallest sufficient capacity across all shards
+// (global best fit), allocating fresh only when every shard missed.
 func (p *BufferPool) Acquire(rows, cols int) *matrix.DenseBlock {
 	need := rows * cols
-	p.mu.Lock()
+	if need > 0 && p.idle.Load() > 0 {
+		// Pass 1: find the shard holding the globally best-fitting array.
+		// Pass 2: take that shard's best fit (a concurrent steal may have
+		// changed it, but whatever it returns still fits). Falls through to
+		// the remaining shards if the winner was drained in between.
+		start := int(p.next.Add(1)-1) % len(p.shards)
+		bestShard, bestCap := -1, 0
+		for off := 0; off < len(p.shards); off++ {
+			i := (start + off) % len(p.shards)
+			if c := p.shards[i].bestFitCap(need); c > 0 && (bestShard < 0 || c < bestCap) {
+				bestShard, bestCap = i, c
+				if c == need {
+					break
+				}
+			}
+		}
+		for off := 0; bestShard >= 0 && off < len(p.shards); off++ {
+			i := (bestShard + off) % len(p.shards)
+			if b := p.shards[i].takeBestFit(need); b != nil {
+				p.idle.Add(-1)
+				p.mem.Sub(b.CapBytes())
+				blk := matrix.NewDenseData(rows, cols, b.Data[:need])
+				blk.Zero()
+				p.mem.Add(blk.CapBytes())
+				return blk
+			}
+		}
+	}
+	p.allocs.Add(1)
+	blk := matrix.NewDense(rows, cols)
+	p.mem.Add(blk.CapBytes())
+	return blk
+}
+
+// bestFitCap reports the capacity of the shard's best-fitting free array for
+// a request of need elements, or 0 when nothing fits.
+func (s *poolShard) bestFitCap(need int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := 0
+	for _, b := range s.free {
+		c := cap(b.Data)
+		if c >= need && (best == 0 || c < best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// takeBestFit removes and returns the free block with the smallest
+// sufficient backing array, or nil.
+func (s *poolShard) takeBestFit(need int) *matrix.DenseBlock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	best := -1
-	for i, b := range p.free {
+	for i, b := range s.free {
 		c := cap(b.Data)
 		if c < need {
 			continue
 		}
-		if best < 0 || c < cap(p.free[best].Data) {
+		if best < 0 || c < cap(s.free[best].Data) {
 			best = i
 			if c == need {
 				break
 			}
 		}
 	}
-	if best >= 0 {
-		b := p.free[best]
-		last := len(p.free) - 1
-		p.free[best] = p.free[last]
-		p.free = p.free[:last]
-		p.mu.Unlock()
-		p.mem.Sub(b.CapBytes())
-		blk := matrix.NewDenseData(rows, cols, b.Data[:need])
-		blk.Zero()
-		p.mem.Add(blk.CapBytes())
-		return blk
+	if best < 0 {
+		return nil
 	}
-	p.mu.Unlock()
-	blk := matrix.NewDense(rows, cols)
-	p.mem.Add(blk.CapBytes())
-	return blk
+	b := s.free[best]
+	last := len(s.free) - 1
+	s.free[best] = s.free[last]
+	s.free[last] = nil
+	s.free = s.free[:last]
+	return b
 }
 
-// Release returns a block to the pool for reuse. If the pool is full the
-// block is dropped; its accounting is removed either way, and pooled blocks
-// are re-accounted at the same capacity footprint they were charged at.
+// Release returns a block to the pool for reuse. If the pool already holds
+// maxIdle free blocks the block is dropped; its accounting is removed either
+// way, and pooled blocks are re-accounted at the same capacity footprint they
+// were charged at.
 func (p *BufferPool) Release(b *matrix.DenseBlock) {
 	p.mem.Sub(b.CapBytes())
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.free) < p.maxIdle {
-		p.free = append(p.free, b)
-		p.mem.Add(b.CapBytes())
+	for {
+		n := p.idle.Load()
+		if int(n) >= p.maxIdle {
+			return
+		}
+		if p.idle.CompareAndSwap(n, n+1) {
+			break
+		}
 	}
+	s := &p.shards[int(p.next.Add(1)-1)%len(p.shards)]
+	p.mem.Add(b.CapBytes())
+	s.mu.Lock()
+	s.free = append(s.free, b)
+	s.mu.Unlock()
 }
 
 // Detach removes a block from pool accounting so the caller can keep it as
@@ -94,8 +174,9 @@ func (p *BufferPool) Detach(b *matrix.DenseBlock) *matrix.DenseBlock {
 }
 
 // Idle returns the number of free blocks currently pooled.
-func (p *BufferPool) Idle() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.free)
-}
+func (p *BufferPool) Idle() int { return int(p.idle.Load()) }
+
+// Allocs returns the number of fresh block allocations the pool performed —
+// acquires no pooled array could serve. A steady state that keeps allocating
+// indicates the pool is undersized or its blocks are leaking past Release.
+func (p *BufferPool) Allocs() int64 { return p.allocs.Load() }

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"dmac/internal/matrix"
+)
+
+// TestBufferPoolSteadyStateAllocFree pins the pool's steady-state allocation
+// contract: once a block of a shape has been pooled, a sequential
+// acquire/release cycle at that shape is served entirely from pooled arrays —
+// zero fresh allocations.
+func TestBufferPoolSteadyStateAllocFree(t *testing.T) {
+	mem := NewMemTracker()
+	p := NewBufferPool(4, mem)
+	p.Release(p.Acquire(32, 32))
+	base := p.Allocs()
+	for r := 0; r < 100; r++ {
+		b := p.Acquire(32, 32)
+		b.Data[0] = float64(r)
+		p.Release(b)
+	}
+	if got := p.Allocs() - base; got != 0 {
+		t.Errorf("steady state allocated %d fresh blocks, want 0", got)
+	}
+	if p.Idle() != 1 {
+		t.Errorf("idle = %d, want 1", p.Idle())
+	}
+	if mem.Current() != 32*32*8 {
+		t.Errorf("accounted bytes = %d, want %d", mem.Current(), 32*32*8)
+	}
+}
+
+// TestBufferPoolConcurrent hammers the sharded pool from many goroutines
+// (run under -race in CI) and checks the invariants concurrency must not
+// break: the idle count never exceeds maxIdle, accounting matches the pooled
+// footprint exactly once everything is released, and reuse still works (the
+// vast majority of acquires are pool hits).
+func TestBufferPoolConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+		rows    = 32
+		cols    = 32
+	)
+	mem := NewMemTracker()
+	p := NewBufferPool(2*workers, mem)
+
+	// Warm-up: fill the pool so the steady state has arrays to reuse.
+	held := make([]*matrix.DenseBlock, 2*workers)
+	for i := range held {
+		held[i] = p.Acquire(rows, cols)
+	}
+	for _, b := range held {
+		p.Release(b)
+	}
+	base := p.Allocs()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b := p.Acquire(rows, cols)
+				b.Data[0] = float64(r)
+				p.Release(b)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if idle := p.Idle(); idle > 2*workers {
+		t.Errorf("idle = %d, exceeds maxIdle %d", idle, 2*workers)
+	}
+	if mem.Current() != int64(p.Idle())*int64(rows*cols)*8 {
+		t.Errorf("accounted bytes = %d, want %d (idle %d)", mem.Current(), p.Idle()*rows*cols*8, p.Idle())
+	}
+	// With 2x workers pooled, transient release windows can force an
+	// occasional fresh allocation, but reuse must dominate: fewer misses than
+	// one per goroutine per ten rounds.
+	if got := p.Allocs() - base; got > int64(workers*rounds/10) {
+		t.Errorf("concurrent phase allocated %d fresh blocks out of %d acquires", got, workers*rounds)
+	}
+}
