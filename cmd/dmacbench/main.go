@@ -33,6 +33,7 @@ func main() {
 	graph := flag.String("graph", "soc-pokec", "graph for fig8")
 	chaos := flag.Bool("chaos", false, "run only the fault-injection chaos sweep")
 	chaosCorrupt := flag.Bool("chaos-corrupt", false, "with -chaos, restrict the sweep to fault plans that inject block corruption (the CI smoke configuration)")
+	chaosWire := flag.Bool("chaos-wire", false, "with -chaos, route every faulted cell over a real loopback TCP data plane (in-process workers), so fault plans exercise the wire transport")
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint directory for the chaos sweep and the checkpoint experiment (default: a temp dir for the checkpoint experiment, disabled for chaos)")
 	timeout := flag.Duration("timeout", 0, "deadline for the chaos sweep and checkpoint experiment (0 = none); runs abort cleanly between stages and block tasks")
 	tracePath := flag.String("trace", "", "run a traced workload and write Chrome trace JSON to this path (skips -exp)")
@@ -63,6 +64,7 @@ func main() {
 		CheckpointDir: *checkpointDir,
 		CorruptOnly:   *chaosCorrupt,
 		Timeout:       *timeout,
+		Wire:          *chaosWire,
 	}
 
 	w := os.Stdout

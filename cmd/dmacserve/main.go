@@ -33,6 +33,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +53,7 @@ func run() int {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	plannerName := flag.String("planner", "dmac", "engine: dmac | systemml | local")
 	workers := flag.Int("workers", 4, "simulated cluster workers per engine slot")
+	workerAddrs := flag.String("worker-addrs", "", "comma-separated dmacworker addresses; when set, the data plane is real TCP to these workers (list order is worker index) and -workers is ignored")
 	blockSize := flag.Int("block", 64, "block size for served jobs")
 	slots := flag.Int("slots", 2, "engine pool size = max concurrently running jobs")
 	queueCap := flag.Int("queue", 32, "admission queue capacity across all tenants")
@@ -89,10 +91,16 @@ func run() int {
 		return 1
 	}
 
+	cluster := dist.ScaledConfig(*workers, 8)
+	if *workerAddrs != "" {
+		cluster.WorkerAddrs = strings.Split(*workerAddrs, ",")
+		logger.Info("wire data plane enabled", "workers", len(cluster.WorkerAddrs))
+	}
+
 	registry := obs.NewRegistry()
 	svc, err := serve.NewService(serve.Options{
 		Planner:            planner,
-		Cluster:            dist.ScaledConfig(*workers, 8),
+		Cluster:            cluster,
 		BlockSize:          *blockSize,
 		Slots:              *slots,
 		QueueCapacity:      *queueCap,

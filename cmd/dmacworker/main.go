@@ -1,0 +1,85 @@
+// dmacworker runs one worker endpoint of the cluster's TCP data plane: it
+// accepts block frames from the coordinator (and ring forwards from sibling
+// workers), verifies every block against its CRC32C, stores the newest
+// stage's blocks, and answers collects and heartbeats.
+//
+// Usage:
+//
+//	dmacworker -addr 127.0.0.1:9301
+//	dmacworker -addr 127.0.0.1:0 -addr-file /tmp/w0.addr   # scripted setups
+//
+// The coordinator side is any dmac engine configured with worker addresses
+// (dmacserve -worker-addrs, or dist.Config.WorkerAddrs): the engine dials
+// each listed address and the order of the list is the worker index. A
+// SIGINT/SIGTERM stops the listener and exits cleanly; killing the process
+// outright is also survivable for the job — the coordinator's heartbeat
+// detects the silence and lineage recovery re-partitions around the loss.
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dmac/internal/dist/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:9301", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once listening (for scripted coordinators)")
+	ioTimeout := flag.Float64("io-timeout", 10, "per-frame read/write deadline in seconds")
+	dialTimeout := flag.Float64("dial-timeout", 2, "ring-forward dial deadline in seconds")
+	maxBlocks := flag.Int("max-blocks", 0, "block store capacity (0 uses the built-in default)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("dmacworker: bad -log-level", "value", *logLevel)
+		return 1
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	w := transport.NewWorker(transport.WorkerConfig{
+		IOTimeoutSec:   *ioTimeout,
+		DialTimeoutSec: *dialTimeout,
+		MaxBlocks:      *maxBlocks,
+	})
+	bound, err := w.Listen(*addr)
+	if err != nil {
+		logger.Error("dmacworker: listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	logger.Info("dmacworker: listening", "addr", bound.String())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()+"\n"), 0o644); err != nil {
+			logger.Error("dmacworker: write -addr-file failed", "path", *addrFile, "err", err)
+			w.Close()
+			return 1
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	select {
+	case s := <-sig:
+		logger.Info("dmacworker: signal received, stopping", "signal", s.String())
+		w.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			logger.Error("dmacworker: serve failed", "err", err)
+			return 1
+		}
+	}
+	logger.Info("dmacworker: stopped", "blocks_held", w.BlockCount())
+	return 0
+}

@@ -161,7 +161,23 @@ const (
 	// hand-off; the checksum at hand-off detects, quarantines and re-fetches
 	// it (counted in Metrics.CorruptionsInjected/Detected).
 	FaultCorrupt = dist.FaultCorrupt
+	// FaultNetDrop loses one worker's blocks of a collective once; the
+	// transport retransmits them (real repeated bytes on the TCP data plane)
+	// and the run is charged one retransmit round-trip of stall.
+	FaultNetDrop = dist.FaultNetDrop
+	// FaultNetDelay stalls a stage's first collective by DelaySec without
+	// losing data.
+	FaultNetDelay = dist.FaultNetDelay
+	// FaultNetPartition cuts a worker off: the first collective that must
+	// reach it fails with a *WorkerFailure and lineage recovery removes the
+	// worker, exactly as for a kill.
+	FaultNetPartition = dist.FaultNetPartition
 )
+
+// ErrWorkerLost classifies every lost-worker failure — injected kills,
+// network partitions, and heartbeat-detected deaths on the TCP transport —
+// via errors.Is, regardless of which layer detected the loss.
+var ErrWorkerLost = dist.ErrWorkerLost
 
 // RandomFaultPlan returns a seeded fault plan that kills each (stage,
 // worker) pair with the given probability — the same seed always kills the

@@ -1,0 +1,78 @@
+package apps_test
+
+import (
+	"testing"
+
+	"dmac/internal/apps"
+	"dmac/internal/dist"
+	"dmac/internal/dist/transport"
+	"dmac/internal/engine"
+	"dmac/internal/workload"
+)
+
+// TestWireBytesReconcileWithModel runs the two headline applications
+// fault-free over a real loopback TCP data plane and checks that the measured
+// wire traffic reconciles with the communication model. The two totals are
+// different quantities — the model charges every collective's dense payload,
+// the wire counts actual frames (5-byte header per frame, 16-byte PUT/RING
+// block headers, acks, hellos) carrying actual encodings (sparse blocks
+// encode smaller than their dense charge) — so the test pins the ratio to a
+// generous band rather than equality: measured within [0.5x, 2x] of modeled.
+// The logged numbers are the source for the EXPERIMENTS.md reconciliation
+// table.
+func TestWireBytesReconcileWithModel(t *testing.T) {
+	const bs = 16
+	newEngine := func() (*engine.Engine, func()) {
+		addrs := make([]string, 2)
+		var workers []*transport.Worker
+		for i := range addrs {
+			w := transport.NewWorker(transport.WorkerConfig{})
+			a, err := w.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go w.Serve()
+			workers = append(workers, w)
+			addrs[i] = a.String()
+		}
+		e := engine.New(engine.DMac, dist.Config{WorkerAddrs: addrs, LocalParallelism: 2}, bs)
+		return e, func() {
+			e.Close()
+			for _, w := range workers {
+				w.Close()
+			}
+		}
+	}
+
+	runs := []struct {
+		name string
+		run  func(e *engine.Engine) (*apps.Result, error)
+	}{
+		{"pagerank", func(e *engine.Engine) (*apps.Result, error) {
+			adj := workload.PowerLawGraph(2, 64, 3, bs)
+			return apps.PageRank(e, adj, 3, 11)
+		}},
+		{"gnmf", func(e *engine.Engine) (*apps.Result, error) {
+			v := workload.SparseUniform(1, 48, 64, bs, 0.3)
+			return apps.GNMF(e, v, 5, 3, 42)
+		}},
+	}
+	for _, tc := range runs {
+		e, cleanup := newEngine()
+		res, err := tc.run(e)
+		cleanup()
+		if err != nil {
+			t.Fatalf("%s over TCP: %v", tc.name, err)
+		}
+		m := res.Total()
+		if m.WireBytes == 0 || m.CommBytes == 0 {
+			t.Fatalf("%s: wire %d B / modeled %d B — both must be nonzero", tc.name, m.WireBytes, m.CommBytes)
+		}
+		ratio := float64(m.WireBytes) / float64(m.CommBytes)
+		t.Logf("%s: modeled %d B, wire %d B (%d frames), ratio %.3f",
+			tc.name, m.CommBytes, m.WireBytes, m.WireFrames, ratio)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: wire/modeled ratio %.3f outside [0.5, 2]", tc.name, ratio)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dmac/internal/apps"
 	"dmac/internal/dist"
+	"dmac/internal/dist/transport"
 	"dmac/internal/engine"
 	"dmac/internal/matrix"
 	"dmac/internal/workload"
@@ -125,6 +126,29 @@ func ChaosPlans() []ChaosPlan {
 				},
 			},
 		},
+		{
+			// Lossy network: seeded frame drops healed by retransmit plus a
+			// scripted delay. Nothing is lost, so results stay bit-identical;
+			// only stall time grows.
+			Name: "net-drop+delay",
+			Plan: dist.FaultPlan{
+				Seed:        11,
+				NetDropRate: 0.3,
+				Events: []dist.FaultEvent{
+					{Stage: 2, Worker: 2, Attempt: 0, Kind: dist.FaultNetDelay, DelaySec: 0.2},
+				},
+			},
+		},
+		{
+			// A worker cut off mid-job: the first collective reaching it fails
+			// typed, recovery removes it, lineage re-partitions around it.
+			// Stage 2 deliberately: stage 1 has no collective on several of
+			// the swept workloads, so a stage-1 partition would never fire.
+			Name: "net-partition",
+			Plan: dist.FaultPlan{Events: []dist.FaultEvent{
+				{Stage: 2, Worker: 1, Attempt: 0, Kind: dist.FaultNetPartition},
+			}},
+		},
 	}
 }
 
@@ -155,6 +179,11 @@ type ChaosOptions struct {
 	// Timeout, when positive, bounds the whole sweep with a context
 	// deadline observed between stages and between block tasks.
 	Timeout time.Duration
+	// Wire runs every faulted cell over a real loopback TCP data plane
+	// (in-process transport workers), so the fault plans exercise the wire
+	// transport — frames, CRCs, retransmits — instead of the in-process
+	// hand-off. Baselines stay in-process; results must match regardless.
+	Wire bool
 }
 
 // ChaosResult is one cell of the sweep: a workload run under a fault plan,
@@ -176,6 +205,13 @@ type ChaosResult struct {
 	// (zero unless ChaosOptions.CheckpointDir is set).
 	StagesReplayed  int
 	CheckpointBytes int64
+	// WireBytes is the measured wire traffic of the faulted run (zero unless
+	// ChaosOptions.Wire routed the cell over loopback TCP).
+	WireBytes int64
+	// NetDrops and NetDelays count fired network faults: dropped collectives
+	// healed by retransmit, and scripted collective stalls.
+	NetDrops  int
+	NetDelays int
 	// Match reports whether every output matched the fault-free run
 	// bit-for-bit (tolerance zero).
 	Match bool
@@ -198,6 +234,19 @@ func RunChaos(opts ChaosOptions) ([]ChaosResult, error) {
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	var addrs []string
+	if opts.Wire {
+		for i := 0; i < DefaultWorkers; i++ {
+			w := transport.NewWorker(transport.WorkerConfig{})
+			a, err := w.Listen("127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("chaos wire worker %d: %w", i, err)
+			}
+			go w.Serve()
+			defer w.Close()
+			addrs = append(addrs, a.String())
+		}
+	}
 	var out []ChaosResult
 	for _, wl := range ChaosWorkloads() {
 		base := newEngine(engine.DMac, DefaultWorkers, chaosBlockSize)
@@ -211,7 +260,9 @@ func RunChaos(opts ChaosOptions) ([]ChaosResult, error) {
 			}
 			cfg := clusterConfig(DefaultWorkers)
 			cfg.Faults = cp.Plan
+			cfg.WorkerAddrs = addrs
 			e := engine.New(engine.DMac, cfg, chaosBlockSize)
+			defer e.Close()
 			e.SetBaseContext(ctx)
 			if opts.CheckpointDir != "" {
 				dir := filepath.Join(opts.CheckpointDir, wl.Name+"-"+cp.Name)
@@ -251,6 +302,9 @@ func RunChaos(opts ChaosOptions) ([]ChaosResult, error) {
 				CorruptionsDetected: total.CorruptionsDetected,
 				StagesReplayed:      total.StagesReplayed,
 				CheckpointBytes:     total.CheckpointBytes,
+				WireBytes:           total.WireBytes,
+				NetDrops:            total.NetDropsInjected,
+				NetDelays:           total.NetDelaysInjected,
 				Match:               match,
 			})
 		}
@@ -278,9 +332,10 @@ func Chaos(w io.Writer, opts ChaosOptions) error {
 			fmt.Sprintf("%d", r.DeadWorkers),
 			fmt.Sprintf("%d/%d", r.CorruptionsDetected, r.CorruptionsInjected),
 			fmt.Sprintf("%d", r.StagesReplayed),
+			fmt.Sprintf("%d", r.WireBytes),
 			fmt.Sprintf("%v", r.Match),
 		})
 	}
-	writeTable(w, []string{"workload", "plan", "retries", "recovery B", "comm GB", "model s", "dead", "corrupt det/inj", "replayed", "bit-identical"}, rows)
+	writeTable(w, []string{"workload", "plan", "retries", "recovery B", "comm GB", "model s", "dead", "corrupt det/inj", "replayed", "wire B", "bit-identical"}, rows)
 	return nil
 }

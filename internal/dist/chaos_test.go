@@ -29,6 +29,9 @@ func TestChaosSweepBitIdentical(t *testing.T) {
 	retriesPerWorkload := make(map[string]int)
 	recoveryPerWorkload := make(map[string]int64)
 	injectedPerPlan := make(map[string]int)
+	deadPerPlan := make(map[string]int)
+	dropsPerPlan := make(map[string]int)
+	delaysPerPlan := make(map[string]int)
 	for _, r := range results {
 		if !r.Match {
 			t.Errorf("%s under plan %s diverged from the fault-free run", r.Workload, r.Plan)
@@ -43,6 +46,9 @@ func TestChaosSweepBitIdentical(t *testing.T) {
 		retriesPerWorkload[r.Workload] += r.Retries
 		recoveryPerWorkload[r.Workload] += r.RecoveryBytes
 		injectedPerPlan[r.Plan] += r.CorruptionsInjected
+		deadPerPlan[r.Plan] += r.DeadWorkers
+		dropsPerPlan[r.Plan] += r.NetDrops
+		delaysPerPlan[r.Plan] += r.NetDelays
 	}
 	for wl, retries := range retriesPerWorkload {
 		if retries == 0 {
@@ -56,6 +62,17 @@ func TestChaosSweepBitIdentical(t *testing.T) {
 		if injectedPerPlan[plan] == 0 {
 			t.Errorf("plan %s never injected a corruption in any workload", plan)
 		}
+	}
+	// The network plans must actually fire — a partition or drop event aimed
+	// at a stage with no collective would otherwise pass as a silent no-op.
+	if deadPerPlan["net-partition"] == 0 {
+		t.Error("plan net-partition never cut a worker off in any workload")
+	}
+	if dropsPerPlan["net-drop+delay"] == 0 {
+		t.Error("plan net-drop+delay never dropped a collective in any workload")
+	}
+	if delaysPerPlan["net-drop+delay"] == 0 {
+		t.Error("plan net-drop+delay never stalled a collective in any workload")
 	}
 }
 

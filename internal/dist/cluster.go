@@ -54,6 +54,26 @@ type Config struct {
 	RetryBackoffBaseSec float64
 	// RetryBackoffCapSec caps the exponential backoff. Defaults to 1 s.
 	RetryBackoffCapSec float64
+	// WorkerAddrs lists the TCP addresses of external worker processes
+	// (dmacworker). Empty (the default) keeps the cluster fully in-process.
+	// Non-empty, it fixes Workers to len(WorkerAddrs) and makes the engine
+	// install the TCP transport, so every shuffle and broadcast moves real
+	// framed bytes to those processes alongside the cost model.
+	WorkerAddrs []string
+	// DialTimeoutSec bounds one TCP dial attempt to a worker (dials are
+	// additionally retried with jittered backoff). Defaults to 2 s.
+	DialTimeoutSec float64
+	// IOTimeoutSec bounds each frame read/write on a worker connection; the
+	// run context's deadline tightens it further when sooner. Defaults to
+	// 10 s.
+	IOTimeoutSec float64
+	// HeartbeatIntervalSec is the period of the transport's liveness probe
+	// per worker. Defaults to 1 s.
+	HeartbeatIntervalSec float64
+	// HeartbeatMisses is how many consecutive unanswered heartbeats declare
+	// a worker dead (surfaced as a *WorkerFailure, recovered like any
+	// injected kill). Defaults to 3.
+	HeartbeatMisses int
 }
 
 // MaxSlowdown returns the largest injected slowdown (at least 1).
@@ -68,6 +88,9 @@ func (c Config) MaxSlowdown() float64 {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.WorkerAddrs) > 0 {
+		c.Workers = len(c.WorkerAddrs)
+	}
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
@@ -91,6 +114,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoffCapSec <= 0 {
 		c.RetryBackoffCapSec = 1.0
+	}
+	if c.DialTimeoutSec <= 0 {
+		c.DialTimeoutSec = 2.0
+	}
+	if c.IOTimeoutSec <= 0 {
+		c.IOTimeoutSec = 10.0
+	}
+	if c.HeartbeatIntervalSec <= 0 {
+		c.HeartbeatIntervalSec = 1.0
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
 	}
 	return c
 }
@@ -128,8 +163,16 @@ type Cluster struct {
 	metrics atomic.Pointer[obs.Registry]
 	// curStage is the stage the engine is currently executing (set by
 	// BeginStage), used to attribute FLOPs of operators that do not carry an
-	// explicit stage argument.
-	curStage atomic.Int64
+	// explicit stage argument. curAttempt is the execution attempt, used to
+	// attribute transport failures and gate first-attempt network faults.
+	curStage   atomic.Int64
+	curAttempt atomic.Int64
+
+	// transport is the active data plane of the collectives (the fault
+	// wrapper when the plan injects network faults); base is the transport
+	// underneath the wrapper. Set by SetTransport; defaults to in-process.
+	transport Transport
+	base      Transport
 
 	// faultMu guards the fault-injection state below.
 	faultMu sync.Mutex
@@ -141,6 +184,10 @@ type Cluster struct {
 	// corrupt holds the armed corruption faults of the current stage attempt,
 	// consumed (one per event) at the stage's block hand-offs.
 	corrupt []FaultEvent
+	// netArmed holds the scripted network faults of the current stage
+	// attempt, read (not consumed — a stage may run several collectives) by
+	// the fault-injecting transport wrapper.
+	netArmed []FaultEvent
 	// faultErr is the verdict of validating cfg.Faults at construction; a
 	// non-nil verdict fails the first BeginStage with a descriptive error.
 	faultErr error
@@ -153,12 +200,14 @@ type Cluster struct {
 // nothing.
 func NewCluster(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
-	return &Cluster{
+	c := &Cluster{
 		cfg:      cfg,
 		exec:     sched.NewExecutor(cfg.Workers*cfg.LocalParallelism, nil),
 		net:      &NetStats{},
-		faultErr: cfg.Faults.Validate(),
+		faultErr: cfg.Faults.ValidateFor(cfg.Workers),
 	}
+	c.SetTransport(nil)
+	return c
 }
 
 // Workers returns the number of simulated workers.
@@ -184,6 +233,11 @@ func (c *Cluster) SetObserver(t *obs.Tracer, m *obs.Registry) {
 	c.tracer.Store(t)
 	c.metrics.Store(m)
 	c.exec.SetObserver(t, m)
+	if o, ok := c.base.(interface {
+		SetObserver(*obs.Tracer, *obs.Registry)
+	}); ok {
+		o.SetObserver(t, m)
+	}
 }
 
 // Tracer returns the attached tracer (nil when tracing is off; a nil tracer
@@ -248,6 +302,10 @@ type NetStats struct {
 	stallSec      float64
 	corruptInj    int
 	corruptDet    int
+	wireBytes     int64
+	wireFrames    int64
+	netDrops      int
+	netDelays     int
 }
 
 // Snapshot is a point-in-time copy of the statistics.
@@ -285,6 +343,18 @@ type Snapshot struct {
 	// asserts: every corruption that happens is detected.
 	CorruptionsInjected int
 	CorruptionsDetected int
+	// WireBytes and WireFrames are the measured traffic the transport
+	// actually put on the wire (payload plus framing), as opposed to Bytes,
+	// which is the cost model's charge. Zero under the in-process transport;
+	// over TCP, WireBytes reconciles with Bytes up to framing overhead and
+	// retransmits.
+	WireBytes  int64
+	WireFrames int64
+	// NetDropsInjected counts injected network drops (each healed by a
+	// retransmit); NetDelaysInjected counts injected network delays (charged
+	// as stall).
+	NetDropsInjected  int
+	NetDelaysInjected int
 }
 
 // addCommLocked is the shared body of the communication recorders.
@@ -379,6 +449,29 @@ func (n *NetStats) AddStall(sec float64) {
 	n.stallSec += sec
 }
 
+// AddWire records measured transport traffic: bytes actually written to (or
+// relayed on) the wire and the frames that carried them.
+func (n *NetStats) AddWire(bytes, frames int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.wireBytes += bytes
+	n.wireFrames += frames
+}
+
+// AddNetDrop records one injected network drop (healed by retransmit).
+func (n *NetStats) AddNetDrop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.netDrops++
+}
+
+// AddNetDelay records one injected network delay.
+func (n *NetStats) AddNetDelay() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.netDelays++
+}
+
 // Snapshot returns a copy of the accumulated statistics.
 func (n *NetStats) Snapshot() Snapshot {
 	n.mu.Lock()
@@ -409,6 +502,10 @@ func (n *NetStats) Snapshot() Snapshot {
 		StallSec:            n.stallSec,
 		CorruptionsInjected: n.corruptInj,
 		CorruptionsDetected: n.corruptDet,
+		WireBytes:           n.wireBytes,
+		WireFrames:          n.wireFrames,
+		NetDropsInjected:    n.netDrops,
+		NetDelaysInjected:   n.netDelays,
 	}
 }
 
@@ -420,6 +517,7 @@ func (n *NetStats) Reset() {
 	n.broadcasts, n.shuffles, n.stageEvents, n.stageFLOPs = 0, 0, nil, nil
 	n.recoveryBytes, n.retries, n.stallSec = 0, 0, 0
 	n.corruptInj, n.corruptDet = 0, 0
+	n.wireBytes, n.wireFrames, n.netDrops, n.netDelays = 0, 0, 0, 0
 }
 
 // String summarizes the statistics.

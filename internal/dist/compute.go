@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,15 +60,15 @@ func mulFLOPs(a, b *DistMatrix) float64 {
 // the classical block kernel. The operand schemes must match the strategy's
 // requirements; the output scheme for CPMM is outScheme (Row or Col),
 // ignored for RMM1/RMM2.
-func (c *Cluster) Multiply(a, b *DistMatrix, strategy MulStrategy, outScheme dep.Scheme, stage int) (*DistMatrix, error) {
-	return c.MultiplyAlgo(a, b, strategy, matrix.MulClassical, outScheme, stage)
+func (c *Cluster) Multiply(ctx context.Context, a, b *DistMatrix, strategy MulStrategy, outScheme dep.Scheme, stage int) (*DistMatrix, error) {
+	return c.MultiplyAlgo(ctx, a, b, strategy, matrix.MulClassical, outScheme, stage)
 }
 
 // MultiplyAlgo is Multiply with an explicit per-operator multiply algorithm:
 // the communication strategy decides how blocks move, the algorithm decides
 // how each worker computes its block products (classical tiled GEMM or
 // Strassen). The two compose freely.
-func (c *Cluster) MultiplyAlgo(a, b *DistMatrix, strategy MulStrategy, algo matrix.MulAlgo, outScheme dep.Scheme, stage int) (*DistMatrix, error) {
+func (c *Cluster) MultiplyAlgo(ctx context.Context, a, b *DistMatrix, strategy MulStrategy, algo matrix.MulAlgo, outScheme dep.Scheme, stage int) (*DistMatrix, error) {
 	var want [2]dep.Scheme
 	switch strategy {
 	case RMM1:
@@ -104,14 +105,20 @@ func (c *Cluster) MultiplyAlgo(a, b *DistMatrix, strategy MulStrategy, algo matr
 			return nil, fmt.Errorf("dist: CPMM output scheme %s", outScheme)
 		}
 		// Shuffled aggregation of the per-worker partial products, across
-		// the workers still alive.
+		// the workers still alive: every alive worker ships its partial of
+		// each output block to the block's owner.
 		workers := int64(c.AliveWorkers())
+		out.Scheme = outScheme
+		wire, werr := c.transport.Scatter(ctx, "cpmm-shuffle", stage, c.scatterXfers(out, int(workers)))
+		if err := c.commFailure(werr, stage); err != nil {
+			return nil, err
+		}
 		c.net.AddComm(stage, workers*out.Bytes())
 		c.traceComm(stage, "cpmm-shuffle", workers*out.Bytes(),
 			obs.String("strategy", "CPMM"), obs.String("to_scheme", outScheme.String()),
 			obs.Int64("workers", workers))
-		out.Scheme = outScheme
 		c.verifyTransfer(out, stage, "cpmm-shuffle")
+		c.chargeWire(stage, "cpmm-shuffle", wire)
 	}
 	return out, nil
 }
@@ -172,36 +179,49 @@ func (c *Cluster) Apply(f matrix.UFunc, a *DistMatrix) (*DistMatrix, error) {
 }
 
 // collect charges a tiny driver collect (8 bytes per alive worker) for an
-// aggregate operator.
-func (c *Cluster) collect(stage int) {
+// aggregate operator; on the wire it gathers one aggregate frame per alive
+// worker.
+func (c *Cluster) collect(ctx context.Context, stage int) error {
+	wire, err := c.transport.Collect(ctx, stage, c.aliveList())
+	if err := c.commFailure(err, stage); err != nil {
+		return err
+	}
 	bytes := 8 * int64(c.AliveWorkers())
 	c.net.AddComm(stage, bytes)
 	c.traceComm(stage, "collect", bytes)
+	c.chargeWire(stage, "collect", wire)
+	return nil
 }
 
 // Sum computes the sum of all cells: local partials plus a tiny driver
 // collect (8 bytes per alive worker).
-func (c *Cluster) Sum(a *DistMatrix, stage int) float64 {
+func (c *Cluster) Sum(ctx context.Context, a *DistMatrix, stage int) (float64, error) {
 	c.addFLOPs(stage, float64(a.Grid.NNZ()))
-	c.collect(stage)
-	return matrix.SumGrid(a.Grid)
+	if err := c.collect(ctx, stage); err != nil {
+		return 0, err
+	}
+	return matrix.SumGrid(a.Grid), nil
 }
 
 // Norm2 computes the Frobenius norm with the same collect cost as Sum.
-func (c *Cluster) Norm2(a *DistMatrix, stage int) float64 {
+func (c *Cluster) Norm2(ctx context.Context, a *DistMatrix, stage int) (float64, error) {
 	c.addFLOPs(stage, 2*float64(a.Grid.NNZ()))
-	c.collect(stage)
-	return math.Sqrt(matrix.FrobeniusSqGrid(a.Grid))
+	if err := c.collect(ctx, stage); err != nil {
+		return 0, err
+	}
+	return math.Sqrt(matrix.FrobeniusSqGrid(a.Grid)), nil
 }
 
 // Value extracts the single cell of a 1x1 matrix at the driver.
-func (c *Cluster) Value(a *DistMatrix, stage int) (float64, error) {
+func (c *Cluster) Value(ctx context.Context, a *DistMatrix, stage int) (float64, error) {
 	if a.Rows() != 1 || a.Cols() != 1 {
 		return 0, fmt.Errorf("dist: value() on %dx%d matrix", a.Rows(), a.Cols())
 	}
 	if err := c.opFault(); err != nil {
 		return 0, err
 	}
-	c.collect(stage)
+	if err := c.collect(ctx, stage); err != nil {
+		return 0, err
+	}
 	return a.Grid.At(0, 0), nil
 }

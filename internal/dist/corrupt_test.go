@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -85,10 +86,10 @@ func TestScriptedCorruptionDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	mc := NewDistMatrix(pristine, dep.SchemeNone)
-	if _, err := c.Partition(m, dep.Row, 1); err != nil {
+	if _, err := c.Partition(context.Background(), m, dep.Row, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := clean.Partition(mc, dep.Row, 1); err != nil {
+	if _, err := clean.Partition(context.Background(), mc, dep.Row, 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -124,7 +125,7 @@ func TestUnconsumedCorruptionDisarmed(t *testing.T) {
 	}
 	g := workload.DenseRandom(3, 20, 20, 10)
 	m := NewDistMatrix(g, dep.SchemeNone)
-	if _, err := c.Partition(m, dep.Col, 2); err != nil {
+	if _, err := c.Partition(context.Background(), m, dep.Col, 2); err != nil {
 		t.Fatal(err)
 	}
 	s := c.Net().Snapshot()
@@ -189,13 +190,13 @@ func TestCorruptionAcrossHandoffKinds(t *testing.T) {
 	if err := c.BeginStage(1, 0); err != nil {
 		t.Fatal(err)
 	}
-	c.Broadcast(NewDistMatrix(a, dep.SchemeNone), 1)
+	c.Broadcast(context.Background(), NewDistMatrix(a, dep.SchemeNone), 1)
 	if err := c.BeginStage(2, 0); err != nil {
 		t.Fatal(err)
 	}
 	ac := NewDistMatrix(a, dep.Col)
 	bc := NewDistMatrix(b, dep.Row)
-	if _, err := c.Multiply(ac, bc, CPMM, dep.Row, 2); err != nil {
+	if _, err := c.Multiply(context.Background(), ac, bc, CPMM, dep.Row, 2); err != nil {
 		t.Fatal(err)
 	}
 	s := c.Net().Snapshot()

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -51,7 +52,7 @@ func TestPartitionChargesMatrixSize(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := randGrid(rng, 20, 20, 5, 1)
 	m := NewDistMatrix(g, dep.SchemeNone)
-	out, err := c.Partition(m, dep.Row, 1)
+	out, err := c.Partition(context.Background(), m, dep.Row, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestPartitionChargesMatrixSize(t *testing.T) {
 	if s.CommEvents != 1 || s.StageBytes[1] != g.MemBytes() {
 		t.Errorf("events=%d stageBytes=%v", s.CommEvents, s.StageBytes)
 	}
-	if _, err := c.Partition(m, dep.Broadcast, 1); err == nil {
+	if _, err := c.Partition(context.Background(), m, dep.Broadcast, 1); err == nil {
 		t.Error("partition to broadcast must fail")
 	}
 }
@@ -75,7 +76,10 @@ func TestBroadcastChargesNTimes(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := randGrid(rng, 12, 12, 4, 1)
 	m := NewDistMatrix(g, dep.Row)
-	out := c.Broadcast(m, 2)
+	out, err := c.Broadcast(context.Background(), m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Scheme != dep.Broadcast {
 		t.Errorf("scheme = %s", out.Scheme)
 	}
@@ -119,7 +123,10 @@ func TestShuffleTransposeCharges(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := randGrid(rng, 8, 8, 3, 1)
 	m := NewDistMatrix(g, dep.Row)
-	out := c.ShuffleTranspose(m, 1)
+	out, err := c.ShuffleTranspose(context.Background(), m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Scheme != dep.Col {
 		t.Errorf("scheme = %s", out.Scheme)
 	}
@@ -152,7 +159,7 @@ func TestMultiplyStrategiesCorrectAndAccounted(t *testing.T) {
 		c := testCluster()
 		a := NewDistMatrix(ga, tc.sa)
 		b := NewDistMatrix(gb, tc.sb)
-		out, err := c.Multiply(a, b, tc.strategy, tc.outScheme, 1)
+		out, err := c.Multiply(context.Background(), a, b, tc.strategy, tc.outScheme, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.strategy, err)
 		}
@@ -176,14 +183,14 @@ func TestMultiplySchemeValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	a := NewDistMatrix(randGrid(rng, 4, 4, 2, 1), dep.Row)
 	b := NewDistMatrix(randGrid(rng, 4, 4, 2, 1), dep.Row)
-	if _, err := c.Multiply(a, b, RMM1, dep.SchemeNone, 1); err == nil {
+	if _, err := c.Multiply(context.Background(), a, b, RMM1, dep.SchemeNone, 1); err == nil {
 		t.Error("RMM1 with wrong schemes must fail")
 	}
-	if _, err := c.Multiply(a, b, MulStrategy(9), dep.SchemeNone, 1); err == nil {
+	if _, err := c.Multiply(context.Background(), a, b, MulStrategy(9), dep.SchemeNone, 1); err == nil {
 		t.Error("unknown strategy must fail")
 	}
 	aCol := NewDistMatrix(a.Grid, dep.Col)
-	if _, err := c.Multiply(aCol, b, CPMM, dep.Broadcast, 1); err == nil {
+	if _, err := c.Multiply(context.Background(), aCol, b, CPMM, dep.Broadcast, 1); err == nil {
 		t.Error("CPMM to broadcast must fail")
 	}
 }
@@ -231,18 +238,18 @@ func TestAggregates(t *testing.T) {
 	c := testCluster()
 	g := matrix.FromDense(2, 2, 2, []float64{1, 2, 3, 4})
 	m := NewDistMatrix(g, dep.Row)
-	if got := c.Sum(m, 1); got != 10 {
-		t.Errorf("Sum = %v, want 10", got)
+	if got, err := c.Sum(context.Background(), m, 1); err != nil || got != 10 {
+		t.Errorf("Sum = %v, %v, want 10", got, err)
 	}
-	if got := c.Norm2(m, 1); math.Abs(got-math.Sqrt(30)) > 1e-12 {
-		t.Errorf("Norm2 = %v, want sqrt(30)", got)
+	if got, err := c.Norm2(context.Background(), m, 1); err != nil || math.Abs(got-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("Norm2 = %v, %v, want sqrt(30)", got, err)
 	}
 	one := NewDistMatrix(matrix.FromDense(1, 1, 1, []float64{7}), dep.Broadcast)
-	v, err := c.Value(one, 1)
+	v, err := c.Value(context.Background(), one, 1)
 	if err != nil || v != 7 {
 		t.Errorf("Value = %v, %v", v, err)
 	}
-	if _, err := c.Value(m, 1); err == nil {
+	if _, err := c.Value(context.Background(), m, 1); err == nil {
 		t.Error("Value on non-1x1 must fail")
 	}
 	// Each aggregate collected 8 bytes per worker.

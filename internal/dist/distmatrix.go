@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 
 	"dmac/internal/dep"
@@ -75,35 +76,35 @@ func (m *DistMatrix) String() string {
 	return fmt.Sprintf("%dx%d(%s)", m.Rows(), m.Cols(), m.Scheme)
 }
 
-// blockRows returns the logical block-row count.
-func (m *DistMatrix) blockRows() int {
+// BlockRows returns the logical block-row count.
+func (m *DistMatrix) BlockRows() int {
 	if m.trans {
 		return m.Grid.BlockCols()
 	}
 	return m.Grid.BlockRows()
 }
 
-// blockCols returns the logical block-column count.
-func (m *DistMatrix) blockCols() int {
+// BlockCols returns the logical block-column count.
+func (m *DistMatrix) BlockCols() int {
 	if m.trans {
 		return m.Grid.BlockRows()
 	}
 	return m.Grid.BlockCols()
 }
 
-// storedBlock returns the block at logical coordinates (bi, bj) in its
+// StoredBlock returns the block at logical coordinates (bi, bj) in its
 // stored orientation — what actually travels on the wire for a transpose
 // view, whose receiver applies the orientation itself.
-func (m *DistMatrix) storedBlock(bi, bj int) matrix.Block {
+func (m *DistMatrix) StoredBlock(bi, bj int) matrix.Block {
 	if m.trans {
 		return m.Grid.Block(bj, bi)
 	}
 	return m.Grid.Block(bi, bj)
 }
 
-// blockBytes returns the footprint of the block at logical coordinates
+// BlockBytes returns the footprint of the block at logical coordinates
 // (bi, bj), accounting transposed sparse blocks at their materialized size.
-func (m *DistMatrix) blockBytes(bi, bj int) int64 {
+func (m *DistMatrix) BlockBytes(bi, bj int) int64 {
 	if m.trans {
 		return matrix.TransMemBytes(m.Grid.Block(bj, bi))
 	}
@@ -128,7 +129,7 @@ func (c *Cluster) Owner(m *DistMatrix, bi, bj int) int {
 	case dep.Broadcast:
 		w = 0
 	default: // hash placement
-		w = (bi*m.blockCols() + bj) % k
+		w = (bi*m.BlockCols() + bj) % k
 	}
 	return c.reassignIfDead(w)
 }
@@ -142,10 +143,10 @@ func (c *Cluster) WorkerBytes(m *DistMatrix, w int) int64 {
 		return 0
 	}
 	var total int64
-	for bi := 0; bi < m.blockRows(); bi++ {
-		for bj := 0; bj < m.blockCols(); bj++ {
+	for bi := 0; bi < m.BlockRows(); bi++ {
+		for bj := 0; bj < m.BlockCols(); bj++ {
 			if c.Owner(m, bi, bj) == w {
-				total += m.blockBytes(bi, bj)
+				total += m.BlockBytes(bi, bj)
 			}
 		}
 	}
@@ -163,9 +164,9 @@ func (c *Cluster) LoadImbalance(m *DistMatrix) float64 {
 		return 1
 	}
 	loads := make([]int64, c.cfg.Workers)
-	for bi := 0; bi < m.blockRows(); bi++ {
-		for bj := 0; bj < m.blockCols(); bj++ {
-			loads[c.Owner(m, bi, bj)] += m.blockBytes(bi, bj)
+	for bi := 0; bi < m.BlockRows(); bi++ {
+		for bj := 0; bj < m.BlockCols(); bj++ {
+			loads[c.Owner(m, bi, bj)] += m.BlockBytes(bi, bj)
 		}
 	}
 	var max, total int64
@@ -196,30 +197,48 @@ func (c *Cluster) MaterializedGrid(m *DistMatrix) *matrix.Grid {
 
 // Partition repartitions the matrix to a Row or Col scheme, charging |A| to
 // the network (the repartition shuffle of the partition extended operator).
-// stage attributes the traffic in per-stage statistics.
-func (c *Cluster) Partition(m *DistMatrix, scheme dep.Scheme, stage int) (*DistMatrix, error) {
+// stage attributes the traffic in per-stage statistics. The transport moves
+// the blocks first — a canceled context or an unreachable worker aborts the
+// collective before anything is charged to the model.
+func (c *Cluster) Partition(ctx context.Context, m *DistMatrix, scheme dep.Scheme, stage int) (*DistMatrix, error) {
 	if scheme != dep.Row && scheme != dep.Col {
 		return nil, fmt.Errorf("dist: partition to invalid scheme %s", scheme)
 	}
 	if err := c.opFault(); err != nil {
 		return nil, err
 	}
+	out := &DistMatrix{Grid: m.Grid, Scheme: scheme, trans: m.trans}
+	// Destinations are the owners under the new scheme — where the shuffle
+	// puts each block.
+	wire, err := c.transport.Scatter(ctx, "partition", stage, c.scatterXfers(out, 1))
+	if err := c.commFailure(err, stage); err != nil {
+		return nil, err
+	}
 	c.net.AddComm(stage, m.Bytes())
 	c.traceComm(stage, "partition", m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()), obs.String("to_scheme", scheme.String()))
 	c.verifyTransfer(m, stage, "partition")
-	return &DistMatrix{Grid: m.Grid, Scheme: scheme, trans: m.trans}, nil
+	c.chargeWire(stage, "partition", wire)
+	return out, nil
 }
 
 // Broadcast replicates the matrix on every alive worker, charging N x |A|
 // for a full cluster and proportionally less once workers have been lost.
-func (c *Cluster) Broadcast(m *DistMatrix, stage int) *DistMatrix {
+// On the wire the replication is a ring: the coordinator sends each block
+// once and the alive workers forward it around the ring, so no single link
+// carries the whole fan-out.
+func (c *Cluster) Broadcast(ctx context.Context, m *DistMatrix, stage int) (*DistMatrix, error) {
+	wire, err := c.transport.Ring(ctx, "broadcast", stage, m.ringXfers(), c.aliveList())
+	if err := c.commFailure(err, stage); err != nil {
+		return nil, err
+	}
 	replicas := int64(c.AliveWorkers())
 	c.net.AddBroadcast(stage, replicas*m.Bytes())
 	c.traceComm(stage, "broadcast", replicas*m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()), obs.Int64("replicas", replicas))
 	c.verifyTransfer(m, stage, "broadcast")
-	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast, trans: m.trans}
+	c.chargeWire(stage, "broadcast", wire)
+	return &DistMatrix{Grid: m.Grid, Scheme: dep.Broadcast, trans: m.trans}, nil
 }
 
 // Extract locally filters a broadcast replica down to a Row or Col
@@ -250,17 +269,25 @@ func (c *Cluster) Transpose(m *DistMatrix) *DistMatrix {
 }
 
 // ShuffleTranspose is the baseline transpose job: a full shuffle that
-// materializes the transpose (SystemML-S pays |A| for it).
-func (c *Cluster) ShuffleTranspose(m *DistMatrix, stage int) *DistMatrix {
+// materializes the transpose (SystemML-S pays |A| for it). On the wire each
+// block travels once, to the owner of its transposed coordinates.
+func (c *Cluster) ShuffleTranspose(ctx context.Context, m *DistMatrix, stage int) (*DistMatrix, error) {
+	// The move set is m's blocks re-homed under the transposed placement.
+	view := &DistMatrix{Grid: m.Grid, Scheme: m.Scheme.Opposite(), trans: !m.trans}
+	wire, err := c.transport.Scatter(ctx, "shuffle-transpose", stage, c.scatterXfers(view, 1))
+	if err := c.commFailure(err, stage); err != nil {
+		return nil, err
+	}
 	c.net.AddComm(stage, m.Bytes())
 	c.traceComm(stage, "shuffle-transpose", m.Bytes(),
 		obs.String("from_scheme", m.Scheme.String()))
 	c.verifyTransfer(m, stage, "shuffle-transpose")
+	c.chargeWire(stage, "shuffle-transpose", wire)
 	c.addFLOPs(stage, float64(m.Grid.NNZ()))
 	if m.trans {
 		// The stored grid already is the transpose of the view; the shuffle
 		// materializes it as-is.
-		return &DistMatrix{Grid: m.Grid, Scheme: m.Scheme.Opposite()}
+		return &DistMatrix{Grid: m.Grid, Scheme: m.Scheme.Opposite()}, nil
 	}
-	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}
+	return &DistMatrix{Grid: c.exec.Transpose(m.Grid), Scheme: m.Scheme.Opposite()}, nil
 }

@@ -35,6 +35,21 @@ const (
 	// CRC32C check at the receiver, counted in NetStats, and healed by
 	// re-fetching the block — results stay bit-identical.
 	FaultCorrupt
+	// FaultNetDrop drops the blocks the stage sends to the event's worker;
+	// the transport detects the loss and retransmits, so the fault costs a
+	// retransmit round-trip (stall plus, on a wire transport, the repeated
+	// bytes) but never data.
+	FaultNetDrop
+	// FaultNetDelay stalls the stage's traffic to the event's worker by
+	// DelaySec without losing anything.
+	FaultNetDelay
+	// FaultNetPartition cuts the link to the event's worker: the first
+	// collective that must reach it fails with a *WorkerFailure of this
+	// kind, and the engine recovers exactly as for a killed worker (the
+	// partitioned worker leaves the cluster, its blocks are re-partitioned
+	// from lineage, the stage retries). Heartbeat-detected dead peers of the
+	// TCP transport surface with this kind too.
+	FaultNetPartition
 )
 
 // String names the fault kind.
@@ -48,6 +63,12 @@ func (k FaultKind) String() string {
 		return "delay"
 	case FaultCorrupt:
 		return "corrupt"
+	case FaultNetDrop:
+		return "net-drop"
+	case FaultNetDelay:
+		return "net-delay"
+	case FaultNetPartition:
+		return "net-partition"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -96,11 +117,40 @@ type FaultPlan struct {
 	// (Seed, stage, worker), independent of Rate's kill decisions). 0
 	// disables random corruption.
 	CorruptRate float64
+	// NetDropRate is the probability the network drops the blocks a stage's
+	// first attempt sends to a given worker (decided by a salted hash of
+	// (Seed, stage, worker), independent of the kill and corruption
+	// decisions). Dropped transfers are retransmitted — the fault costs a
+	// stall and repeated wire bytes, never data. 0 disables random drops.
+	NetDropRate float64
+	// NetPartition lists workers cut off from the cluster starting at stage
+	// NetPartitionStage (0 means from the first stage). A partitioned worker
+	// fails the first collective that must reach it with a *WorkerFailure of
+	// kind FaultNetPartition and is then recovered like a killed worker.
+	NetPartition []int
+	// NetPartitionStage is the 1-based stage the partition begins at; 0
+	// partitions from the start.
+	NetPartitionStage int
 }
 
 // Empty reports whether the plan injects nothing.
 func (p FaultPlan) Empty() bool {
-	return len(p.Events) == 0 && p.Rate <= 0 && p.CorruptRate <= 0
+	return len(p.Events) == 0 && p.Rate <= 0 && p.CorruptRate <= 0 && !p.injectsNet()
+}
+
+// injectsNet reports whether the plan injects network faults, which is what
+// decides whether the cluster wraps its transport in the fault injector.
+func (p FaultPlan) injectsNet() bool {
+	if p.NetDropRate > 0 || len(p.NetPartition) > 0 {
+		return true
+	}
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case FaultNetDrop, FaultNetDelay, FaultNetPartition:
+			return true
+		}
+	}
+	return false
 }
 
 // Validate rejects plans that would behave silently oddly: probabilities
@@ -115,6 +165,17 @@ func (p FaultPlan) Validate() error {
 	if p.CorruptRate < 0 || p.CorruptRate > 1 {
 		return fmt.Errorf("dist: fault plan CorruptRate %v outside [0,1]", p.CorruptRate)
 	}
+	if p.NetDropRate < 0 || p.NetDropRate > 1 {
+		return fmt.Errorf("dist: fault plan NetDropRate %v outside [0,1]", p.NetDropRate)
+	}
+	if p.NetPartitionStage < 0 {
+		return fmt.Errorf("dist: fault plan has negative NetPartitionStage %d", p.NetPartitionStage)
+	}
+	for i, w := range p.NetPartition {
+		if w < 0 {
+			return fmt.Errorf("dist: fault plan NetPartition[%d] is negative worker %d", i, w)
+		}
+	}
 	for i, ev := range p.Events {
 		switch {
 		case ev.Stage < 0:
@@ -125,9 +186,26 @@ func (p FaultPlan) Validate() error {
 			return fmt.Errorf("dist: fault event %d has negative Attempt %d", i, ev.Attempt)
 		case ev.DelaySec < 0:
 			return fmt.Errorf("dist: fault event %d has negative DelaySec %v", i, ev.DelaySec)
-		case ev.Kind != FaultKillBoundary && ev.Kind != FaultKillTask &&
-			ev.Kind != FaultDelay && ev.Kind != FaultCorrupt:
+		case ev.Kind < FaultKillBoundary || ev.Kind > FaultNetPartition:
 			return fmt.Errorf("dist: fault event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// ValidateFor is Validate plus the checks that need the cluster size:
+// partitioning a worker the cluster does not have would silently inject
+// nothing, so it is rejected here. (Scripted kill events naming out-of-range
+// workers stay merely ignored, as documented on BeginStage — existing plans
+// rely on that — but a partition is a topology statement and a typo'd worker
+// index in one is always a bug.)
+func (p FaultPlan) ValidateFor(workers int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, w := range p.NetPartition {
+		if w >= workers {
+			return fmt.Errorf("dist: fault plan NetPartition[%d] names worker %d of a %d-worker cluster", i, w, workers)
 		}
 	}
 	return nil
@@ -190,8 +268,21 @@ func (p FaultPlan) eventsAt(stage, attempt, workers int) []FaultEvent {
 }
 
 // corruptSalt decorrelates random corruption from random kills under the
-// same seed.
-const corruptSalt int64 = 0x5bd1e995
+// same seed; netDropSalt does the same for random network drops.
+const (
+	corruptSalt int64 = 0x5bd1e995
+	netDropSalt int64 = 0x27d4eb2f
+)
+
+// ErrWorkerLost is the sentinel all worker-loss failures match:
+// errors.Is(err, dist.ErrWorkerLost) classifies injected kills, network
+// partitions, and heartbeat-detected dead peers alike, without caring which
+// kind the *WorkerFailure carries.
+var ErrWorkerLost = errWorkerLost{}
+
+type errWorkerLost struct{}
+
+func (errWorkerLost) Error() string { return "dist: worker lost" }
 
 // WorkerFailure is the error a stage attempt fails with when an injected (or,
 // in a real deployment, observed) fault kills a worker. The engine's execute
@@ -214,6 +305,9 @@ func (f *WorkerFailure) Error() string {
 	return fmt.Sprintf("dist: worker %d lost at stage %d attempt %d (%s)", f.Worker, f.Stage, f.Attempt, f.Kind)
 }
 
+// Unwrap makes every worker failure match errors.Is(err, ErrWorkerLost).
+func (f *WorkerFailure) Unwrap() error { return ErrWorkerLost }
+
 // BeginStage marks the start of one execution attempt of a stage and injects
 // the faults the configured plan scripts for it. Delay faults are charged
 // immediately as stalled time; a boundary kill is returned as a
@@ -229,10 +323,12 @@ func (c *Cluster) BeginStage(stage, attempt int) error {
 		return c.faultErr
 	}
 	c.curStage.Store(int64(stage))
+	c.curAttempt.Store(int64(attempt))
 	c.faultMu.Lock()
 	defer c.faultMu.Unlock()
 	c.pending = nil
 	c.corrupt = nil
+	c.netArmed = nil
 	var boundary *WorkerFailure
 	for _, ev := range c.cfg.Faults.eventsAt(stage, attempt, c.cfg.Workers) {
 		if ev.Worker < 0 || ev.Worker >= c.cfg.Workers || c.dead[ev.Worker] {
@@ -251,6 +347,8 @@ func (c *Cluster) BeginStage(stage, attempt int) error {
 			}
 		case FaultCorrupt:
 			c.corrupt = append(c.corrupt, ev)
+		case FaultNetDrop, FaultNetDelay, FaultNetPartition:
+			c.netArmed = append(c.netArmed, ev)
 		}
 	}
 	if boundary != nil {
@@ -294,8 +392,8 @@ func (c *Cluster) takeCorrupt() []FaultEvent {
 // (row-major over logical coordinates) placed on the event's worker, falling
 // back to (0, 0) when the worker owns none (a broadcast replica, say).
 func (c *Cluster) victimBlock(m *DistMatrix, worker int) (int, int) {
-	for bi := 0; bi < m.blockRows(); bi++ {
-		for bj := 0; bj < m.blockCols(); bj++ {
+	for bi := 0; bi < m.BlockRows(); bi++ {
+		for bj := 0; bj < m.BlockCols(); bj++ {
 			if c.Owner(m, bi, bj) == worker {
 				return bi, bj
 			}
@@ -317,7 +415,7 @@ func (c *Cluster) victimBlock(m *DistMatrix, worker int) (int, int) {
 func (c *Cluster) verifyTransfer(m *DistMatrix, stage int, op string) {
 	for _, ev := range c.takeCorrupt() {
 		bi, bj := c.victimBlock(m, ev.Worker)
-		blk := m.storedBlock(bi, bj)
+		blk := m.StoredBlock(bi, bj)
 		enc := mio.EncodeBlock(blk)
 		want := mio.BlockChecksum(blk)
 		enc[len(enc)/2] ^= 0x04
@@ -335,7 +433,7 @@ func (c *Cluster) verifyTransfer(m *DistMatrix, stage int, op string) {
 			// multi-block damage models.
 			continue
 		}
-		refetch := m.blockBytes(bi, bj)
+		refetch := m.BlockBytes(bi, bj)
 		c.net.AddComm(stage, refetch)
 		c.traceComm(stage, "corrupt-refetch", refetch,
 			obs.String("op", op), obs.Int64("worker", int64(ev.Worker)),

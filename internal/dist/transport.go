@@ -1,0 +1,257 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dmac/internal/matrix"
+	"dmac/internal/obs"
+)
+
+// Transport is the data plane of the cluster's collectives: it moves the
+// blocks one shuffle or broadcast hands between workers. The cluster keeps
+// the cost model (NetStats model charges, comm spans, corruption
+// verification) on its side of this interface, so both implementations are
+// accounted identically; what differs is whether bytes actually travel.
+//
+//   - The in-process transport (the default) moves nothing: blocks live in
+//     one shared address space and a hand-off is a pointer. It still walks
+//     every block of the collective and observes the context between blocks,
+//     so a canceled job stops mid-collective exactly like a wire transport
+//     blocked on a send would.
+//   - The TCP transport (internal/dist/transport) frames every block with a
+//     length prefix and a CRC32C, streams it to worker processes, and
+//     reports the measured wire bytes, which the cluster records alongside
+//     the model (NetStats WireBytes) so traced comm events reconcile against
+//     real traffic.
+//
+// Implementations return *PeerDown when a destination worker is unreachable
+// or failed mid-transfer; the cluster converts it into the typed
+// *WorkerFailure the engine's lineage recovery already handles.
+type Transport interface {
+	// Name identifies the transport in metrics and logs ("inproc", "tcp").
+	Name() string
+	// Scatter moves each transfer's block to its destination worker. op
+	// names the collective for tracing ("partition", "cpmm-shuffle", ...).
+	Scatter(ctx context.Context, op string, stage int, xfers []BlockXfer) (Wire, error)
+	// Ring replicates the blocks onto every listed worker by ring
+	// forwarding: the coordinator sends each block to the first hop, each
+	// hop forwards to the next. hops is the alive-worker ring order.
+	Ring(ctx context.Context, op string, stage int, blocks []BlockXfer, hops []int) (Wire, error)
+	// Collect gathers a small driver-side aggregate (8 bytes) from each
+	// listed worker.
+	Collect(ctx context.Context, stage int, workers []int) (Wire, error)
+	// Close releases transport resources (connections, heartbeats). The
+	// in-process transport has none.
+	Close() error
+}
+
+// Wire is the measured traffic of one collective on the wire: payload and
+// framing bytes actually written or relayed, and the frame count. The
+// in-process transport always reports zero.
+type Wire struct {
+	Bytes  int64
+	Frames int64
+}
+
+// add accumulates other into w.
+func (w *Wire) add(other Wire) {
+	w.Bytes += other.Bytes
+	w.Frames += other.Frames
+}
+
+// BlockXfer is one block hand-off of a collective: the block (in its stored
+// orientation — the receiver applies any pending transpose), its logical
+// coordinates, and the destination worker.
+type BlockXfer struct {
+	Bi, Bj int
+	To     int
+	Block  matrix.Block
+}
+
+// PeerDown reports a transport peer that is unreachable or failed
+// mid-transfer: the dial was refused after retries, the connection died, or
+// heartbeats stopped being answered. The cluster converts it into a typed
+// *WorkerFailure so lineage recovery and the checkpoint ladder fire exactly
+// as they do for injected kills.
+type PeerDown struct {
+	// Worker is the cluster index of the dead peer.
+	Worker int
+	// Addr is the peer's dial address (empty for in-process peers).
+	Addr string
+	// Err is the underlying transport error.
+	Err error
+}
+
+// Error describes the failure.
+func (p *PeerDown) Error() string {
+	if p.Addr != "" {
+		return fmt.Sprintf("dist: worker %d (%s) down: %v", p.Worker, p.Addr, p.Err)
+	}
+	return fmt.Sprintf("dist: worker %d down: %v", p.Worker, p.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (p *PeerDown) Unwrap() error { return p.Err }
+
+// inprocTransport is the default transport of the simulated cluster: blocks
+// live in one shared Grid, so a hand-off moves nothing and measures zero
+// wire bytes. It still iterates the collective's blocks and observes the
+// context between them, which is what lets a canceled job abort
+// mid-collective instead of finishing the stage.
+type inprocTransport struct{}
+
+func (inprocTransport) Name() string { return "inproc" }
+
+// walk observes ctx once per block, the cancellation granularity a wire
+// transport gets for free from its per-frame deadlines.
+func (inprocTransport) walk(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t inprocTransport) Scatter(ctx context.Context, op string, stage int, xfers []BlockXfer) (Wire, error) {
+	return Wire{}, t.walk(ctx, len(xfers))
+}
+
+func (t inprocTransport) Ring(ctx context.Context, op string, stage int, blocks []BlockXfer, hops []int) (Wire, error) {
+	return Wire{}, t.walk(ctx, len(blocks)*len(hops))
+}
+
+func (t inprocTransport) Collect(ctx context.Context, stage int, workers []int) (Wire, error) {
+	return Wire{}, t.walk(ctx, len(workers))
+}
+
+func (inprocTransport) Close() error { return nil }
+
+// SetTransport installs the cluster's data plane (nil restores the default
+// in-process transport). When the configured fault plan injects network
+// faults, the transport is additionally wrapped in the fault-injecting
+// transport, so drops, delays and partitions exercise the in-process and
+// TCP paths identically. Observers attached to the cluster are forwarded to
+// transports that accept them.
+func (c *Cluster) SetTransport(t Transport) {
+	if t == nil {
+		t = inprocTransport{}
+	}
+	c.base = t
+	if o, ok := t.(interface {
+		SetObserver(*obs.Tracer, *obs.Registry)
+	}); ok {
+		o.SetObserver(c.tracer.Load(), c.metrics.Load())
+	}
+	if c.cfg.Faults.injectsNet() {
+		t = &netFaultTransport{inner: t, c: c}
+	}
+	c.transport = t
+}
+
+// Transport returns the active data plane (the fault wrapper, when network
+// faults are configured).
+func (c *Cluster) Transport() Transport { return c.transport }
+
+// TransportName names the underlying transport ("inproc", "tcp"),
+// unwrapping the fault injector.
+func (c *Cluster) TransportName() string { return c.base.Name() }
+
+// Close releases the cluster's transport (connections, heartbeat loops).
+// Safe to call on a cluster using the in-process transport.
+func (c *Cluster) Close() error { return c.base.Close() }
+
+// aliveList returns the alive workers in ascending order — the ring order
+// of broadcasts and the destination set of collects.
+func (c *Cluster) aliveList() []int {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
+	out := make([]int, 0, c.aliveLocked())
+	for w := 0; w < c.cfg.Workers; w++ {
+		if !c.dead[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// scatterXfers lists the block hand-offs that place m's blocks on their
+// owners under m's scheme — the move set of a repartition or a materialized
+// shuffle. copies > 1 replays the set per sending worker (the CPMM partial
+// aggregation, where every alive worker ships its own partial of each
+// block).
+func (c *Cluster) scatterXfers(m *DistMatrix, copies int) []BlockXfer {
+	br, bc := m.BlockRows(), m.BlockCols()
+	out := make([]BlockXfer, 0, br*bc*copies)
+	for copy := 0; copy < copies; copy++ {
+		for bi := 0; bi < br; bi++ {
+			for bj := 0; bj < bc; bj++ {
+				out = append(out, BlockXfer{Bi: bi, Bj: bj, To: c.Owner(m, bi, bj), Block: m.StoredBlock(bi, bj)})
+			}
+		}
+	}
+	return out
+}
+
+// ringXfers lists m's blocks once each (destination filled per hop by the
+// transport) — the payload of a ring broadcast.
+func (m *DistMatrix) ringXfers() []BlockXfer {
+	br, bc := m.BlockRows(), m.BlockCols()
+	out := make([]BlockXfer, 0, br*bc)
+	for bi := 0; bi < br; bi++ {
+		for bj := 0; bj < bc; bj++ {
+			out = append(out, BlockXfer{Bi: bi, Bj: bj, To: -1, Block: m.StoredBlock(bi, bj)})
+		}
+	}
+	return out
+}
+
+// chargeWire records measured wire traffic alongside the model: NetStats
+// wire totals, a "net" trace event, and the net.* labeled metric families.
+// The in-process transport reports zero and charges nothing, so modelled
+// accounting stays byte-for-byte what it was before transports existed.
+func (c *Cluster) chargeWire(stage int, op string, w Wire) {
+	if w.Bytes == 0 && w.Frames == 0 {
+		return
+	}
+	c.net.AddWire(w.Bytes, w.Frames)
+	if tr := c.tracer.Load(); tr.Enabled() {
+		tr.Event("net", op, tr.Scope(),
+			obs.Int64("stage", int64(stage)),
+			obs.Int64("wire_bytes", w.Bytes),
+			obs.Int64("frames", w.Frames))
+	}
+	if m := c.metrics.Load(); m != nil {
+		m.CounterVec("net.wire.bytes", "op").With(op).Add(w.Bytes)
+		m.CounterVec("net.wire.frames", "op").With(op).Add(w.Frames)
+	}
+}
+
+// commFailure classifies a transport error: a dead peer becomes the typed
+// *WorkerFailure the engine's recovery path handles (stage retried, worker
+// removed, blocks re-partitioned from lineage); context errors and
+// already-typed failures pass through unchanged.
+func (c *Cluster) commFailure(err error, stage int) error {
+	if err == nil {
+		return nil
+	}
+	var wf *WorkerFailure
+	if errors.As(err, &wf) {
+		return err
+	}
+	var pd *PeerDown
+	if errors.As(err, &pd) {
+		if m := c.metrics.Load(); m != nil {
+			m.Counter("net.peer.down").Inc()
+		}
+		return &WorkerFailure{
+			Worker:  pd.Worker,
+			Stage:   stage,
+			Attempt: int(c.curAttempt.Load()),
+			Kind:    FaultNetPartition,
+		}
+	}
+	return err
+}

@@ -1,0 +1,517 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmac/internal/dist"
+	"dmac/internal/mio"
+	"dmac/internal/obs"
+	"dmac/internal/retry"
+)
+
+// Config tunes the coordinator side of the TCP transport.
+type Config struct {
+	// Addrs are the worker dial addresses; index in this slice is the
+	// cluster worker index.
+	Addrs []string
+	// DialTimeoutSec bounds one dial attempt (default 2 s). Dials retry
+	// under a jittered backoff before the peer is reported down.
+	DialTimeoutSec float64
+	// IOTimeoutSec bounds each frame write and reply read (default 10 s); a
+	// nearer context deadline tightens it.
+	IOTimeoutSec float64
+	// HeartbeatIntervalSec is the ping period per peer (default 1 s).
+	HeartbeatIntervalSec float64
+	// HeartbeatMisses is how many consecutive unanswered pings mark a peer
+	// dead (default 3). A peer is only declared dead after it has been
+	// successfully contacted once, so a slow-starting worker is waited for,
+	// not buried.
+	HeartbeatMisses int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeoutSec <= 0 {
+		c.DialTimeoutSec = 2
+	}
+	if c.IOTimeoutSec <= 0 {
+		c.IOTimeoutSec = 10
+	}
+	if c.HeartbeatIntervalSec <= 0 {
+		c.HeartbeatIntervalSec = 1
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	return c
+}
+
+// crcRetries is how many times a block frame is retransmitted after the
+// receiver answers badCRC before the transfer is abandoned.
+const crcRetries = 3
+
+// peer is the coordinator's view of one worker: its operation connection
+// (frames serialized under mu), and the liveness verdict maintained by the
+// heartbeat loop.
+type peer struct {
+	index int
+	addr  string
+
+	mu   sync.Mutex // serializes frames on conn and guards conn itself
+	conn net.Conn
+
+	contacted atomic.Bool // ever successfully contacted (gates heartbeat death)
+	dead      atomic.Bool
+	deadErr   atomic.Value // error
+}
+
+// down marks the peer dead with its root cause.
+func (p *peer) down(err error) {
+	p.deadErr.Store(err)
+	p.dead.Store(true)
+}
+
+// downErr returns the stored death cause.
+func (p *peer) downErr() error {
+	if e, ok := p.deadErr.Load().(error); ok {
+		return e
+	}
+	return fmt.Errorf("transport: peer %d down", p.index)
+}
+
+// TCP is the wire implementation of dist.Transport: blocks travel to worker
+// processes as CRC32C-checked frames over per-peer TCP connections, dials
+// retry under jittered backoff, every frame I/O carries a deadline, and a
+// heartbeat loop per peer turns an unresponsive worker into *dist.PeerDown.
+type TCP struct {
+	cfg   Config
+	peers []*peer
+	done  chan struct{}
+	once  sync.Once
+
+	obsMu   sync.Mutex
+	metrics *obs.Registry
+}
+
+// NewTCP creates the transport and starts one heartbeat loop per worker.
+func NewTCP(cfg Config) *TCP {
+	cfg = cfg.withDefaults()
+	t := &TCP{cfg: cfg, done: make(chan struct{})}
+	for i, a := range cfg.Addrs {
+		t.peers = append(t.peers, &peer{index: i, addr: a})
+	}
+	for _, p := range t.peers {
+		go t.heartbeat(p)
+	}
+	return t
+}
+
+func (t *TCP) Name() string { return "tcp" }
+
+// SetObserver attaches the cluster's metric registry (the cluster forwards
+// its observer here when the transport is installed).
+func (t *TCP) SetObserver(_ *obs.Tracer, reg *obs.Registry) {
+	t.obsMu.Lock()
+	t.metrics = reg
+	t.obsMu.Unlock()
+}
+
+// count bumps a transport counter if a registry is attached.
+func (t *TCP) count(name string, n int64) {
+	t.obsMu.Lock()
+	reg := t.metrics
+	t.obsMu.Unlock()
+	if reg != nil && n > 0 {
+		reg.Counter(name).Add(n)
+	}
+}
+
+// Close stops the heartbeats and drops all connections.
+func (t *TCP) Close() error {
+	t.once.Do(func() { close(t.done) })
+	for _, p := range t.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// deadline is the per-frame I/O deadline: IOTimeout from now, tightened by
+// the context's own deadline when that is nearer.
+func (t *TCP) deadline(ctx context.Context) time.Time {
+	d := time.Now().Add(time.Duration(t.cfg.IOTimeoutSec * float64(time.Second)))
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		d = cd
+	}
+	return d
+}
+
+// dialPolicy is the jittered dial backoff; the seed is the peer index so
+// peers retrying against a busy endpoint spread out deterministically.
+func dialPolicy(worker int) retry.Policy {
+	return retry.Policy{BaseSec: 0.05, CapSec: 0.5, Jitter: 0.2, MaxAttempts: 4, Seed: int64(worker)}
+}
+
+// connLocked returns the peer's operation connection, dialing (with retry and
+// a hello exchange announcing the worker's index) on first use. Wire bytes of
+// the hello are added to w. Caller holds p.mu.
+func (t *TCP) connLocked(ctx context.Context, p *peer, w *dist.Wire) (net.Conn, error) {
+	if p.dead.Load() {
+		return nil, p.downErr()
+	}
+	if p.conn != nil {
+		return p.conn, nil
+	}
+	attempts := 0
+	err := retry.Do(ctx, dialPolicy(p.index), func(ctx context.Context) error {
+		attempts++
+		conn, err := net.DialTimeout("tcp", p.addr, time.Duration(t.cfg.DialTimeoutSec*float64(time.Second)))
+		if err != nil {
+			return err
+		}
+		conn.SetDeadline(t.deadline(ctx))
+		sent, err := writeFrame(conn, fHello, u32Payload(p.index))
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		typ, _, got, err := readFrame(conn)
+		if err != nil || typ != fHelloOK {
+			conn.Close()
+			if err == nil {
+				err = fmt.Errorf("transport: hello answered with frame type %d", typ)
+			}
+			return err
+		}
+		w.Bytes += sent + got
+		w.Frames += 2
+		p.conn = conn
+		p.contacted.Store(true)
+		return nil
+	})
+	t.count("net.dial.retries", int64(attempts-1))
+	if err != nil {
+		return nil, err
+	}
+	return p.conn, nil
+}
+
+// dropLocked discards the peer's broken connection. Caller holds p.mu.
+func (p *peer) dropLocked() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// peerDown wraps err as the typed unreachable-peer error.
+func peerDown(p *peer, err error) error {
+	return &dist.PeerDown{Worker: p.index, Addr: p.addr, Err: err}
+}
+
+// Scatter delivers each transfer's block to its destination worker as a PUT
+// frame, retransmitting on a badCRC answer.
+func (t *TCP) Scatter(ctx context.Context, op string, stage int, xfers []dist.BlockXfer) (dist.Wire, error) {
+	var w dist.Wire
+	byDest := make(map[int][]dist.BlockXfer)
+	for _, x := range xfers {
+		byDest[x.To] = append(byDest[x.To], x)
+	}
+	dests := make([]int, 0, len(byDest))
+	for d := range byDest {
+		dests = append(dests, d)
+	}
+	sort.Ints(dests)
+	for _, d := range dests {
+		if d < 0 || d >= len(t.peers) {
+			return w, fmt.Errorf("transport: scatter to unknown worker %d", d)
+		}
+		if err := t.putAll(ctx, t.peers[d], stage, byDest[d], &w); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+// putAll sends one destination's blocks over its connection.
+func (t *TCP) putAll(ctx context.Context, p *peer, stage int, xfers []dist.BlockXfer, w *dist.Wire) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, err := t.connLocked(ctx, p, w)
+	if err != nil {
+		return peerDown(p, err)
+	}
+	for _, x := range xfers {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		enc := mio.EncodeBlock(x.Block)
+		crc := mio.ChecksumBytes(enc)
+		payload := putPayload(stage, x.Bi, x.Bj, crc, enc)
+		accepted := false
+		for try := 0; try <= crcRetries; try++ {
+			conn.SetDeadline(t.deadline(ctx))
+			sent, err := writeFrame(conn, fPut, payload)
+			if err != nil {
+				p.dropLocked()
+				return peerDown(p, err)
+			}
+			typ, _, got, err := readFrame(conn)
+			if err != nil {
+				p.dropLocked()
+				return peerDown(p, err)
+			}
+			w.Bytes += sent + got
+			w.Frames += 2
+			if typ == fPutOK {
+				accepted = true
+				break
+			}
+			if typ != fPutBadCRC {
+				p.dropLocked()
+				return peerDown(p, fmt.Errorf("transport: put answered with frame type %d", typ))
+			}
+			// Damaged in transit; the same payload goes again and the
+			// retransmitted bytes are honestly part of the wire total.
+			t.count("net.crc.retransmits", 1)
+		}
+		if !accepted {
+			p.dropLocked()
+			return peerDown(p, fmt.Errorf("transport: block (%d,%d) rejected %d times by CRC", x.Bi, x.Bj, crcRetries+1))
+		}
+	}
+	return nil
+}
+
+// Ring replicates the blocks onto every hop by ring forwarding: one RING
+// frame to the first hop carries the block set and the remaining hop
+// addresses; each hop stores, forwards, and reports the bytes relayed
+// downstream in its ack, so the returned Wire covers the whole ring.
+func (t *TCP) Ring(ctx context.Context, op string, stage int, blocks []dist.BlockXfer, hops []int) (dist.Wire, error) {
+	var w dist.Wire
+	if len(hops) == 0 || len(blocks) == 0 {
+		return w, nil
+	}
+	rbs := make([]ringBlock, 0, len(blocks))
+	for _, x := range blocks {
+		enc := mio.EncodeBlock(x.Block)
+		rbs = append(rbs, ringBlock{bi: x.Bi, bj: x.Bj, crc: mio.ChecksumBytes(enc), enc: enc})
+	}
+	rest := make([]string, 0, len(hops)-1)
+	for _, h := range hops[1:] {
+		if h < 0 || h >= len(t.peers) {
+			return w, fmt.Errorf("transport: ring through unknown worker %d", h)
+		}
+		rest = append(rest, t.peers[h].addr)
+	}
+	if first := hops[0]; first < 0 || first >= len(t.peers) {
+		return w, fmt.Errorf("transport: ring through unknown worker %d", first)
+	}
+	p := t.peers[hops[0]]
+
+	// The locked round-trip to the first hop. On an I/O failure the cause is
+	// returned with ringBroke=true and the lock is released before blameRing
+	// probes the hops — blameRing pings through the same peer mutexes, so
+	// blaming under the lock would self-deadlock.
+	ringBroke := false
+	err := func() error {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		conn, err := t.connLocked(ctx, p, &w)
+		if err != nil {
+			return peerDown(p, err)
+		}
+		// The whole ring must finish before the first hop acks; give the
+		// round-trip one I/O budget per hop.
+		ringDeadline := time.Now().Add(time.Duration(float64(len(hops)) * t.cfg.IOTimeoutSec * float64(time.Second)))
+		if cd, ok := ctx.Deadline(); ok && cd.Before(ringDeadline) {
+			ringDeadline = cd
+		}
+		conn.SetDeadline(ringDeadline)
+		sent, err := writeFrame(conn, fRing, ringPayload(stage, rest, rbs))
+		if err != nil {
+			p.dropLocked()
+			ringBroke = true
+			return err
+		}
+		typ, payload, got, err := readFrame(conn)
+		if err != nil {
+			p.dropLocked()
+			ringBroke = true
+			return err
+		}
+		if typ != fRingOK {
+			p.dropLocked()
+			return peerDown(p, fmt.Errorf("transport: ring answered with frame type %d", typ))
+		}
+		downBytes, downFrames, err := parseRingOK(payload)
+		if err != nil {
+			p.dropLocked()
+			return peerDown(p, err)
+		}
+		w.Bytes += sent + got + downBytes
+		w.Frames += 2 + downFrames
+		return nil
+	}()
+	if ringBroke {
+		return w, t.blameRing(ctx, hops, err)
+	}
+	return w, err
+}
+
+// blameRing identifies the broken hop of a failed ring: a forwarding failure
+// anywhere downstream surfaces as an error on the first hop's connection, so
+// each hop is probed with a ping and the first unresponsive one is the peer
+// reported down. If every hop answers, the first hop carries the blame.
+func (t *TCP) blameRing(ctx context.Context, hops []int, cause error) error {
+	for _, h := range hops {
+		p := t.peers[h]
+		if p.dead.Load() {
+			return peerDown(p, p.downErr())
+		}
+		if err := t.ping(ctx, p); err != nil {
+			p.mu.Lock()
+			p.dropLocked()
+			p.mu.Unlock()
+			return peerDown(p, fmt.Errorf("ring broke at hop %d: %w (ring error: %v)", h, err, cause))
+		}
+	}
+	return peerDown(t.peers[hops[0]], cause)
+}
+
+// ping does one PING round-trip on the peer's operation connection.
+func (t *TCP) ping(ctx context.Context, p *peer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var scratch dist.Wire
+	conn, err := t.connLocked(ctx, p, &scratch)
+	if err != nil {
+		return err
+	}
+	conn.SetDeadline(t.deadline(ctx))
+	if _, err := writeFrame(conn, fPing, nil); err != nil {
+		p.dropLocked()
+		return err
+	}
+	typ, _, _, err := readFrame(conn)
+	if err != nil {
+		p.dropLocked()
+		return err
+	}
+	if typ != fPong {
+		p.dropLocked()
+		return fmt.Errorf("transport: ping answered with frame type %d", typ)
+	}
+	return nil
+}
+
+// Collect fetches each worker's 8-byte stage aggregate.
+func (t *TCP) Collect(ctx context.Context, stage int, workers []int) (dist.Wire, error) {
+	var w dist.Wire
+	for _, wk := range workers {
+		if wk < 0 || wk >= len(t.peers) {
+			return w, fmt.Errorf("transport: collect from unknown worker %d", wk)
+		}
+		p := t.peers[wk]
+		if err := func() error {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			conn, err := t.connLocked(ctx, p, &w)
+			if err != nil {
+				return peerDown(p, err)
+			}
+			conn.SetDeadline(t.deadline(ctx))
+			sent, err := writeFrame(conn, fCollect, u32Payload(stage))
+			if err != nil {
+				p.dropLocked()
+				return peerDown(p, err)
+			}
+			typ, payload, got, err := readFrame(conn)
+			if err != nil {
+				p.dropLocked()
+				return peerDown(p, err)
+			}
+			if typ != fCollectOK || len(payload) != 8 {
+				p.dropLocked()
+				return peerDown(p, fmt.Errorf("transport: collect answered with frame type %d (%d bytes)", typ, len(payload)))
+			}
+			w.Bytes += sent + got
+			w.Frames += 2
+			return nil
+		}(); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+// heartbeat is one peer's liveness loop: a PING on a dedicated connection
+// every interval. Consecutive misses beyond the configured allowance mark
+// the peer dead — but only after it has been contacted successfully at least
+// once, so workers still starting up are not buried. Heartbeat traffic rides
+// its own connection and is deliberately not part of any collective's Wire
+// measurement.
+func (t *TCP) heartbeat(p *peer) {
+	interval := time.Duration(t.cfg.HeartbeatIntervalSec * float64(time.Second))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	misses := 0
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-ticker.C:
+		}
+		if p.dead.Load() {
+			return
+		}
+		ok := func() bool {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", p.addr, time.Duration(t.cfg.DialTimeoutSec*float64(time.Second)))
+				if err != nil {
+					return false
+				}
+				conn = c
+			}
+			conn.SetDeadline(time.Now().Add(interval))
+			if _, err := writeFrame(conn, fPing, nil); err != nil {
+				conn.Close()
+				conn = nil
+				return false
+			}
+			typ, _, _, err := readFrame(conn)
+			if err != nil || typ != fPong {
+				conn.Close()
+				conn = nil
+				return false
+			}
+			return true
+		}()
+		if ok {
+			misses = 0
+			p.contacted.Store(true)
+			continue
+		}
+		misses++
+		t.count("net.heartbeat.misses", 1)
+		if p.contacted.Load() && misses >= t.cfg.HeartbeatMisses {
+			p.down(fmt.Errorf("transport: %d consecutive heartbeats unanswered by %s", misses, p.addr))
+			return
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dmac/internal/mio"
+)
+
+// WorkerConfig tunes a worker process's transport endpoint.
+type WorkerConfig struct {
+	// IOTimeoutSec bounds each frame read/write on an accepted connection.
+	// Defaults to 10 s. An idle coordinator connection is allowed to sit
+	// quietly — the read timeout applies per frame once bytes start
+	// arriving, and heartbeats keep the link warm in between.
+	IOTimeoutSec float64
+	// DialTimeoutSec bounds a ring-forward dial to the next hop. Defaults
+	// to 2 s.
+	DialTimeoutSec float64
+	// MaxBlocks caps the worker's block store; the store keeps the newest
+	// stage's blocks (older stages are dropped when a new stage arrives).
+	// Defaults to 8192.
+	MaxBlocks int
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.IOTimeoutSec <= 0 {
+		c.IOTimeoutSec = 10
+	}
+	if c.DialTimeoutSec <= 0 {
+		c.DialTimeoutSec = 2
+	}
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = 8192
+	}
+	return c
+}
+
+// blockKey identifies a stored block.
+type blockKey struct{ bi, bj int }
+
+// Worker is the worker-process side of the TCP transport: it accepts
+// coordinator and ring-forward connections, verifies every incoming block
+// frame against its CRC32C (answering badCRC to request a retransmit),
+// stores the newest stage's blocks, forwards ring broadcasts to the next
+// hop, and answers collects and heartbeats.
+type Worker struct {
+	cfg WorkerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	index    int // worker index announced by the coordinator's hello
+	stage    int
+	blocks   map[blockKey][]byte
+	fwd      map[string]net.Conn // ring-forward connections by next-hop address
+	accepted map[net.Conn]bool
+	closed   bool
+}
+
+// NewWorker creates a worker endpoint (not yet listening).
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults(), index: -1, blocks: make(map[blockKey][]byte), fwd: make(map[string]net.Conn), accepted: make(map[net.Conn]bool)}
+}
+
+// Listen binds the worker to addr ("host:port", port 0 for ephemeral) and
+// returns the bound address.
+func (w *Worker) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w.ln = ln
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (w *Worker) Addr() net.Addr {
+	if w.ln == nil {
+		return nil
+	}
+	return w.ln.Addr()
+}
+
+// Serve accepts and serves connections until Close. Each connection gets its
+// own goroutine; per-frame deadlines bound every read and write.
+func (w *Worker) Serve() error {
+	if w.ln == nil {
+		return errors.New("transport: worker Serve before Listen")
+	}
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.accepted[conn] = true
+		w.mu.Unlock()
+		go w.serveConn(conn)
+	}
+}
+
+// Close stops the listener and drops all connections.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	for a, c := range w.fwd {
+		c.Close()
+		delete(w.fwd, a)
+	}
+	for c := range w.accepted {
+		c.Close()
+		delete(w.accepted, c)
+	}
+	w.mu.Unlock()
+	if w.ln != nil {
+		return w.ln.Close()
+	}
+	return nil
+}
+
+// BlockCount returns how many blocks of the current stage the worker holds
+// (the aggregate a collect reports).
+func (w *Worker) BlockCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.blocks)
+}
+
+// ioDeadline returns the per-frame deadline.
+func (w *Worker) ioDeadline() time.Time {
+	return time.Now().Add(time.Duration(w.cfg.IOTimeoutSec * float64(time.Second)))
+}
+
+// serveConn is one connection's frame loop. A read error (including the
+// peer going away) ends the loop; the coordinator re-dials as needed.
+func (w *Worker) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.accepted, conn)
+		w.mu.Unlock()
+	}()
+	for {
+		// The frame gap between requests is unbounded (an idle but live
+		// coordinator); the deadline applies once the frame header arrives.
+		conn.SetReadDeadline(time.Time{})
+		typ, payload, _, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		conn.SetDeadline(w.ioDeadline())
+		if err := w.handle(conn, typ, payload); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one frame and writes its reply.
+func (w *Worker) handle(conn net.Conn, typ byte, payload []byte) error {
+	switch typ {
+	case fHello:
+		if len(payload) == 4 {
+			w.mu.Lock()
+			w.index = int(uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24)
+			w.mu.Unlock()
+		}
+		_, err := writeFrame(conn, fHelloOK, nil)
+		return err
+	case fPing:
+		_, err := writeFrame(conn, fPong, nil)
+		return err
+	case fPut:
+		stage, bi, bj, crc, enc, err := parsePut(payload)
+		if err != nil {
+			return err
+		}
+		if mio.ChecksumBytes(enc) != crc {
+			// Damaged in transit: refuse and let the sender retransmit.
+			_, err := writeFrame(conn, fPutBadCRC, nil)
+			return err
+		}
+		w.store(stage, bi, bj, enc)
+		_, err = writeFrame(conn, fPutOK, nil)
+		return err
+	case fRing:
+		stage, hops, blocks, err := parseRing(payload)
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if mio.ChecksumBytes(b.enc) != b.crc {
+				_, err := writeFrame(conn, fPutBadCRC, nil)
+				return err
+			}
+		}
+		for _, b := range blocks {
+			w.store(stage, b.bi, b.bj, b.enc)
+		}
+		relayedBytes, relayedFrames, err := w.forward(stage, hops, blocks)
+		if err != nil {
+			// The next hop is unreachable: drop the connection so the
+			// coordinator sees the ring break and recovers.
+			return fmt.Errorf("transport: ring forward: %w", err)
+		}
+		_, err = writeFrame(conn, fRingOK, ringOKPayload(relayedBytes, relayedFrames))
+		return err
+	case fCollect:
+		w.mu.Lock()
+		n := len(w.blocks)
+		w.mu.Unlock()
+		var agg [8]byte
+		agg[0] = byte(n)
+		agg[1] = byte(n >> 8)
+		agg[2] = byte(n >> 16)
+		agg[3] = byte(n >> 24)
+		_, err := writeFrame(conn, fCollectOK, agg[:])
+		return err
+	default:
+		return fmt.Errorf("transport: unknown frame type %d", typ)
+	}
+}
+
+// store records one verified block, keeping only the newest stage and at
+// most MaxBlocks entries.
+func (w *Worker) store(stage, bi, bj int, enc []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if stage != w.stage {
+		w.stage = stage
+		w.blocks = make(map[blockKey][]byte)
+	}
+	if len(w.blocks) >= w.cfg.MaxBlocks {
+		return
+	}
+	cp := make([]byte, len(enc))
+	copy(cp, enc)
+	w.blocks[blockKey{bi, bj}] = cp
+}
+
+// forward relays a ring broadcast to the next hop and returns the bytes and
+// frames relayed from this hop down (its own send plus everything the
+// downstream hops report).
+func (w *Worker) forward(stage int, hops []string, blocks []ringBlock) (int64, int64, error) {
+	if len(hops) == 0 {
+		return 0, 0, nil
+	}
+	next, rest := hops[0], hops[1:]
+	conn, err := w.fwdConn(next)
+	if err != nil {
+		return 0, 0, err
+	}
+	fail := func(err error) (int64, int64, error) {
+		w.dropFwd(next)
+		return 0, 0, err
+	}
+	conn.SetDeadline(w.ioDeadline())
+	sent, err := writeFrame(conn, fRing, ringPayload(stage, rest, blocks))
+	if err != nil {
+		return fail(err)
+	}
+	typ, payload, n, err := readFrame(conn)
+	if err != nil {
+		return fail(err)
+	}
+	if typ != fRingOK {
+		return fail(fmt.Errorf("transport: ring ack type %d", typ))
+	}
+	downBytes, downFrames, err := parseRingOK(payload)
+	if err != nil {
+		return fail(err)
+	}
+	return sent + n + downBytes, 2 + downFrames, nil
+}
+
+// fwdConn returns a cached connection to the next hop, dialing on first use.
+func (w *Worker) fwdConn(addr string) (net.Conn, error) {
+	w.mu.Lock()
+	conn, ok := w.fwd[addr]
+	w.mu.Unlock()
+	if ok {
+		return conn, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, time.Duration(w.cfg.DialTimeoutSec*float64(time.Second)))
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.fwd[addr] = conn
+	w.mu.Unlock()
+	return conn, nil
+}
+
+// dropFwd discards a broken forward connection so the next ring re-dials.
+func (w *Worker) dropFwd(addr string) {
+	w.mu.Lock()
+	if c, ok := w.fwd[addr]; ok {
+		c.Close()
+		delete(w.fwd, addr)
+	}
+	w.mu.Unlock()
+}

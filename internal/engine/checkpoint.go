@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -314,7 +315,7 @@ func (e *Engine) loadCheckpoint(w writtenCkpt, sig string) (*ckptManifest, map[i
 // deterministically, their communication and arithmetic charged as
 // recomputation cost). With no valid checkpoint it replays the full lineage —
 // every stage before the failure. It returns how many stages were replayed.
-func (e *Engine) restoreAndReplay(st *execState, failStage int) (int, error) {
+func (e *Engine) restoreAndReplay(ctx context.Context, st *execState, failStage int) (int, error) {
 	c := e.ckpt
 	if c.testPreRestore != nil {
 		c.testPreRestore()
@@ -351,7 +352,7 @@ func (e *Engine) restoreAndReplay(st *execState, failStage int) (int, error) {
 		if s <= from || s >= failStage {
 			continue
 		}
-		if err := e.runOps(st.plan, s, st.byStage[s], st.vals, st.params); err != nil {
+		if err := e.runOps(ctx, st.plan, s, st.byStage[s], st.vals, st.params); err != nil {
 			e.tracer.End(span, obs.String("error", err.Error()))
 			return replayed, fmt.Errorf("engine: replaying stage %d after restore: %w", s, err)
 		}

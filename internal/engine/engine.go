@@ -26,6 +26,7 @@ import (
 	"dmac/internal/core"
 	"dmac/internal/dep"
 	"dmac/internal/dist"
+	"dmac/internal/dist/transport"
 	"dmac/internal/expr"
 	"dmac/internal/matrix"
 	"dmac/internal/obs"
@@ -102,6 +103,17 @@ type Metrics struct {
 	// (replicate vs repartition) are countable per run.
 	Broadcasts int
 	Shuffles   int
+	// WireBytes and WireFrames are the traffic the transport actually put on
+	// the wire (payload plus framing), measured rather than modelled. Zero
+	// for the in-process transport; over TCP they reconcile with CommBytes
+	// up to framing overhead and retransmits.
+	WireBytes  int64
+	WireFrames int64
+	// NetDropsInjected and NetDelaysInjected count network faults fired by
+	// the injector: frame drops healed by retransmit and scripted delays
+	// charged as stall. Both leave results untouched by construction.
+	NetDropsInjected  int
+	NetDelaysInjected int
 	// PerStage attributes the run to its stages, separating measured wall
 	// time, modelled local compute time and modelled network time — the
 	// per-stage decomposition the run-level ModelSeconds folds together.
@@ -147,6 +159,10 @@ func (m *Metrics) Add(other Metrics) {
 	m.StagesReplayed += other.StagesReplayed
 	m.CorruptionsInjected += other.CorruptionsInjected
 	m.CorruptionsDetected += other.CorruptionsDetected
+	m.WireBytes += other.WireBytes
+	m.WireFrames += other.WireFrames
+	m.NetDropsInjected += other.NetDropsInjected
+	m.NetDelaysInjected += other.NetDelaysInjected
 	if other.Stages > m.Stages {
 		m.Stages = other.Stages
 	}
@@ -371,15 +387,34 @@ func New(planner Planner, cfg dist.Config, blockSize int) *Engine {
 	}
 	if planner == Local {
 		cfg.Workers = 1
+		cfg.WorkerAddrs = nil
+	}
+	c := dist.NewCluster(cfg)
+	if len(cfg.WorkerAddrs) > 0 {
+		// Worker addresses turn the data plane real: blocks travel to the
+		// listed dmacworker processes over TCP. The cost model is unchanged —
+		// measured wire traffic lands next to it in Metrics.WireBytes.
+		c.SetTransport(transport.NewTCP(transport.Config{
+			Addrs:                cfg.WorkerAddrs,
+			DialTimeoutSec:       cfg.DialTimeoutSec,
+			IOTimeoutSec:         cfg.IOTimeoutSec,
+			HeartbeatIntervalSec: cfg.HeartbeatIntervalSec,
+			HeartbeatMisses:      cfg.HeartbeatMisses,
+		}))
 	}
 	return &Engine{
 		planner:   planner,
-		cluster:   dist.NewCluster(cfg),
+		cluster:   c,
 		blockSize: blockSize,
 		vars:      make(map[string]*varState),
 		scalars:   make(map[string]float64),
 	}
 }
+
+// Close releases the engine's transport resources (TCP connections and
+// heartbeat loops when worker addresses are configured; a no-op for the
+// in-process data plane).
+func (e *Engine) Close() error { return e.cluster.Close() }
 
 // SetObserver attaches a span tracer and a metrics registry to the engine,
 // its cluster, and its local executor. Either may be nil to disable that
@@ -711,5 +746,9 @@ func (e *Engine) metricsDelta(before, after dist.Snapshot, wall float64, stages 
 		StagesReplayed:      stats.stagesReplayed,
 		CorruptionsInjected: after.CorruptionsInjected - before.CorruptionsInjected,
 		CorruptionsDetected: after.CorruptionsDetected - before.CorruptionsDetected,
+		WireBytes:           after.WireBytes - before.WireBytes,
+		WireFrames:          after.WireFrames - before.WireFrames,
+		NetDropsInjected:    after.NetDropsInjected - before.NetDropsInjected,
+		NetDelaysInjected:   after.NetDelaysInjected - before.NetDelaysInjected,
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"dmac/internal/dist"
 	"dmac/internal/expr"
 	"dmac/internal/obs"
+	"dmac/internal/retry"
 )
 
 // execState is the live state of one plan execution: the value table the
@@ -93,7 +93,7 @@ func (e *Engine) execute(ctx context.Context, plan *core.Plan, sig string, param
 		prev := e.tracer.SetScope(span)
 		netBefore := e.cluster.Net().Snapshot()
 		start := time.Now()
-		err := e.runStage(st, s)
+		err := e.runStage(ctx, st, s)
 		stats.stageWall[s] = time.Since(start).Seconds()
 		e.tracer.SetScope(prev)
 		e.tracer.End(span)
@@ -140,7 +140,7 @@ func (e *Engine) modelCost(before, after dist.Snapshot) float64 {
 // checkpointer attached, recovery additionally restores the newest valid
 // on-disk snapshot and replays only the stages after it (the recovery ladder
 // of restoreAndReplay), instead of relying on the full lineage.
-func (e *Engine) runStage(st *execState, stage int) error {
+func (e *Engine) runStage(ctx context.Context, st *execState, stage int) error {
 	cfg := e.cluster.Config()
 	ops := st.byStage[stage]
 	for attempt := 0; ; attempt++ {
@@ -149,7 +149,7 @@ func (e *Engine) runStage(st *execState, stage int) error {
 		prev := e.tracer.SetScope(span)
 		err := e.cluster.BeginStage(stage, attempt)
 		if err == nil {
-			err = e.runOps(st.plan, stage, ops, st.vals, st.params)
+			err = e.runOps(ctx, st.plan, stage, ops, st.vals, st.params)
 		}
 		if err == nil {
 			// An armed task kill that no operator of this stage consumed
@@ -174,17 +174,14 @@ func (e *Engine) runStage(st *execState, stage int) error {
 		e.recoverStage(st, stage, wf)
 		var rerr error
 		if e.ckpt != nil {
-			_, rerr = e.restoreAndReplay(st, stage)
+			_, rerr = e.restoreAndReplay(ctx, st, stage)
 		}
 		e.tracer.SetScope(prev)
 		e.tracer.End(rec)
 		if rerr != nil {
 			return rerr
 		}
-		backoff := cfg.RetryBackoffBaseSec * math.Pow(2, float64(attempt))
-		if backoff > cfg.RetryBackoffCapSec {
-			backoff = cfg.RetryBackoffCapSec
-		}
+		backoff := retry.Policy{BaseSec: cfg.RetryBackoffBaseSec, CapSec: cfg.RetryBackoffCapSec}.Backoff(attempt)
 		e.cluster.Net().AddStall(backoff)
 		e.cluster.Net().AddRetry()
 		e.metrics.Counter("fault.retries").Inc()
@@ -254,7 +251,7 @@ func (e *Engine) opSpan(plan *core.Plan, stage int, op *core.Op) obs.SpanID {
 
 // runOps executes one stage's ops in plan order against the shared value
 // table, one "op" span and one time-histogram sample per operator.
-func (e *Engine) runOps(plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, params map[string]float64) error {
+func (e *Engine) runOps(ctx context.Context, plan *core.Plan, stage int, ops []*core.Op, vals []*dist.DistMatrix, params map[string]float64) error {
 	for i, op := range ops {
 		var (
 			out *dist.DistMatrix
@@ -267,20 +264,20 @@ func (e *Engine) runOps(plan *core.Plan, stage int, ops []*core.Op, vals []*dist
 		case core.OpLoad, core.OpVar:
 			out, err = e.leafInstance(op, plan)
 		case core.OpPartition:
-			out, err = e.cluster.Partition(vals[op.Inputs[0]], plan.Value(op.Output).Scheme, op.Stage)
+			out, err = e.cluster.Partition(ctx, vals[op.Inputs[0]], plan.Value(op.Output).Scheme, op.Stage)
 		case core.OpBroadcast:
-			out = e.cluster.Broadcast(vals[op.Inputs[0]], op.Stage)
+			out, err = e.cluster.Broadcast(ctx, vals[op.Inputs[0]], op.Stage)
 		case core.OpTranspose:
 			if op.CommBytes > 0 {
 				// Baseline transpose job: shuffle-based.
-				out = e.cluster.ShuffleTranspose(vals[op.Inputs[0]], op.Stage)
+				out, err = e.cluster.ShuffleTranspose(ctx, vals[op.Inputs[0]], op.Stage)
 			} else {
 				out = e.cluster.Transpose(vals[op.Inputs[0]])
 			}
 		case core.OpExtract:
 			out, err = e.cluster.Extract(vals[op.Inputs[0]], plan.Value(op.Output).Scheme)
 		case core.OpCompute:
-			out, err = e.compute(plan, op, vals, params)
+			out, err = e.compute(ctx, plan, op, vals, params)
 		default:
 			e.tracer.SetScope(prevScope)
 			e.tracer.End(span)
@@ -362,7 +359,7 @@ func (e *Engine) leafInstance(op *core.Op, plan *core.Plan) (*dist.DistMatrix, e
 }
 
 // compute executes an OpCompute with its chosen strategy.
-func (e *Engine) compute(plan *core.Plan, op *core.Op, vals []*dist.DistMatrix, params map[string]float64) (*dist.DistMatrix, error) {
+func (e *Engine) compute(ctx context.Context, plan *core.Plan, op *core.Op, vals []*dist.DistMatrix, params map[string]float64) (*dist.DistMatrix, error) {
 	n := op.Node
 	in := func(i int) *dist.DistMatrix { return vals[op.Inputs[i]] }
 	switch n.Kind {
@@ -382,7 +379,7 @@ func (e *Engine) compute(plan *core.Plan, op *core.Op, vals []*dist.DistMatrix, 
 		if op.Strategy == core.CPMM {
 			outScheme = plan.Value(op.Output).Scheme
 		}
-		return e.cluster.MultiplyAlgo(in(0), in(1), strat, op.MulAlgo, outScheme, op.Stage)
+		return e.cluster.MultiplyAlgo(ctx, in(0), in(1), strat, op.MulAlgo, outScheme, op.Stage)
 	case expr.KindCell:
 		return e.cluster.Cellwise(n.BinOp, in(0), in(1))
 	case expr.KindScalar:
@@ -398,13 +395,21 @@ func (e *Engine) compute(plan *core.Plan, op *core.Op, vals []*dist.DistMatrix, 
 	case expr.KindUFunc:
 		return e.cluster.Apply(n.UFunc, in(0))
 	case expr.KindSum:
-		e.scalars[op.ScalarName] = e.cluster.Sum(in(0), op.Stage)
+		v, err := e.cluster.Sum(ctx, in(0), op.Stage)
+		if err != nil {
+			return nil, err
+		}
+		e.scalars[op.ScalarName] = v
 		return nil, nil
 	case expr.KindNorm2:
-		e.scalars[op.ScalarName] = e.cluster.Norm2(in(0), op.Stage)
+		v, err := e.cluster.Norm2(ctx, in(0), op.Stage)
+		if err != nil {
+			return nil, err
+		}
+		e.scalars[op.ScalarName] = v
 		return nil, nil
 	case expr.KindValue:
-		v, err := e.cluster.Value(in(0), op.Stage)
+		v, err := e.cluster.Value(ctx, in(0), op.Stage)
 		if err != nil {
 			return nil, err
 		}

@@ -101,6 +101,10 @@ type JobStatus struct {
 	CommBytes int64   `json:"comm_bytes"`
 	FLOPs     float64 `json:"flops"`
 	Retries   int     `json:"retries"`
+	// WireBytes is the traffic the engine's transport actually measured on
+	// the wire — zero for the in-process data plane, nonzero when the service
+	// runs over TCP workers.
+	WireBytes int64 `json:"wire_bytes"`
 }
 
 // Result is a completed job's payload: the output grids by name plus the
@@ -170,6 +174,7 @@ func (j *job) status() JobStatus {
 		st.CommBytes = j.metrics.CommBytes
 		st.FLOPs = j.metrics.FLOPs
 		st.Retries = j.metrics.Retries
+		st.WireBytes = j.metrics.WireBytes
 		if j.result != nil {
 			st.Scalars = j.result.Scalars
 		}

@@ -745,6 +745,9 @@ func (s *Service) Stop(ctx context.Context) error {
 	}
 	s.wg.Wait()
 	<-s.dispatcherDone
+	for _, slot := range s.slots {
+		slot.e.Close()
+	}
 	if shed > 0 || canceled > 0 {
 		return fmt.Errorf("serve: drain deadline exceeded: shed %d queued, canceled %d running", shed, canceled)
 	}
