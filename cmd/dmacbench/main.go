@@ -11,6 +11,7 @@
 //	dmacbench -trace out.json -metrics-out metrics.json
 //	dmacbench -kernels -kernel-sizes 64,128,256,512 -kernel-workers 1,2,4,8 -kernels-out BENCH_kernels.json
 //	dmacbench -serve -serve-tenants 3 -serve-jobs 8 -serve-out BENCH_serve.json
+//	dmacbench -serve -open-loop -serve-out BENCH_autoscale.json
 package main
 
 import (
@@ -49,6 +50,9 @@ func main() {
 	serveSlots := flag.Int("serve-slots", 3, "with -serve, engine pool size")
 	serveSeed := flag.Int64("serve-seed", 1, "with -serve, workload-mix seed")
 	serveOut := flag.String("serve-out", "", "with -serve, also write the report JSON to this path")
+	openLoop := flag.Bool("open-loop", false, "with -serve, run the open-loop (Poisson-arrival) autoscaler ramp instead of the closed-loop load: warm -> 10x surge -> cool, autoscaled vs fixed 1-slot pool")
+	surgeFactor := flag.Float64("surge-factor", 10, "with -open-loop, surge-to-base arrival-rate ratio")
+	openLoopMax := flag.Int("open-loop-max-slots", 6, "with -open-loop, autoscaled pool upper bound")
 	rewriteOut := flag.String("rewrite-out", "", "with -exp rewrite, also write the A/B report JSON to this path")
 	flag.Parse()
 
@@ -77,6 +81,20 @@ func main() {
 	if *tracePath != "" {
 		if err := runTraced(w, *traceApp, *tracePath, *metricsPath, *iters, *scale); err != nil {
 			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
+	if *serveMode && *openLoop {
+		opts := bench.OpenLoopOptions{
+			Seed:        *serveSeed,
+			SurgeFactor: *surgeFactor,
+			MaxSlots:    *openLoopMax,
+			Timeout:     *timeout,
+		}
+		if err := bench.OpenLoop(w, opts, *serveOut, func(path string, data []byte) error {
+			return os.WriteFile(path, data, 0o644)
+		}); err != nil {
+			log.Fatalf("open-loop: %v", err)
 		}
 		return
 	}

@@ -1,0 +1,239 @@
+// Package autoscale implements the model-based elastic autoscaler for the
+// serve engine pool. It applies the paper's core move — price the options
+// with a cost model, pick the cheapest — to capacity instead of execution
+// strategy: every reconciliation tick it observes the serve plane (queue
+// depth priced in the planner's estimated bytes, queue-wait quantiles, SLO
+// burn rates) and computes the engine-pool size that keeps the latency
+// objective within budget, then grows or shrinks the pool through the
+// Pool interface with hysteresis, cooldown windows and min/max bounds.
+//
+// The capacity model combines three terms, any of which can demand slots:
+//
+//   - Backlog: the queued work, priced by the planner's block memory model
+//     (workload.BuiltJob.EstimatedBytes summed over queued jobs) and divided
+//     by the calibrated model throughput (bytes/sec a slot actually
+//     delivers), must clear within the target queue wait.
+//   - Utilization: Little's law — the arrival rate times the mean service
+//     time, divided by the target per-slot utilization, is the steady-state
+//     slot count that keeps queueing bounded.
+//   - SLO escalation: when the measured queue-wait p99 or the fast-window
+//     SLO burn rate is over budget while work is waiting, the model's answer
+//     is overridden upward by one slot — the signal that the model is
+//     underestimating.
+//
+// Scale-up is immediate (subject to a short cooldown); scale-down requires
+// the desire to persist for DownStableTicks consecutive ticks and a longer
+// cooldown, and retires one slot per decision, so a noisy workload never
+// flaps the pool. The clock is injectable and Tick is exported, so the whole
+// decision sequence is deterministic under test.
+package autoscale
+
+import (
+	"math"
+	"time"
+)
+
+// Config bounds and tunes the controller. Zero values pick serving-appropriate
+// defaults.
+type Config struct {
+	// Min and Max bound the pool (defaults 1 and 8). The controller never
+	// resizes outside [Min, Max].
+	Min, Max int
+	// TargetQueueWaitSec is the latency objective the controller defends:
+	// the model sizes the pool so queued work clears within it (default 1s).
+	TargetQueueWaitSec float64
+	// TargetUtilization is the steady-state per-slot load the utilization
+	// term aims for; lower means more headroom (default 0.7).
+	TargetUtilization float64
+	// Interval is the reconciliation period of the background loop
+	// (default 2s). Tick can also be driven directly.
+	Interval time.Duration
+	// ScaleUpCooldown is the minimum gap between grow decisions (default
+	// 1s): long enough that the last grow's slots can absorb queue before
+	// the model asks again, short enough that a surge is chased promptly.
+	ScaleUpCooldown time.Duration
+	// ScaleDownCooldown is the minimum gap between the last scale decision
+	// (either direction) and a shrink (default 30s).
+	ScaleDownCooldown time.Duration
+	// DownStableTicks is how many consecutive ticks the model must want
+	// fewer slots before the controller shrinks (default 3).
+	DownStableTicks int
+	// DecisionLog bounds the grow/shrink decision ring (default 256).
+	DecisionLog int
+	// Now is the injectable clock (default time.Now).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 8
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.TargetQueueWaitSec <= 0 {
+		c.TargetQueueWaitSec = 1
+	}
+	if c.TargetUtilization <= 0 || c.TargetUtilization > 1 {
+		c.TargetUtilization = 0.7
+	}
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.ScaleUpCooldown <= 0 {
+		c.ScaleUpCooldown = time.Second
+	}
+	if c.ScaleDownCooldown <= 0 {
+		c.ScaleDownCooldown = 30 * time.Second
+	}
+	if c.DownStableTicks <= 0 {
+		c.DownStableTicks = 3
+	}
+	if c.DecisionLog <= 0 {
+		c.DecisionLog = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Signals is one observation of the serve plane, the controller's whole view
+// of the world. The cost-model terms price queued work in the same estimated
+// bytes admission control uses, so a queue of ten heavy jobs asks for more
+// capacity than a queue of ten trivial ones.
+type Signals struct {
+	// Pool shape.
+	SlotsTotal    int `json:"slots_total"`
+	SlotsFree     int `json:"slots_free"`
+	SlotsDraining int `json:"slots_draining"`
+	// Live load.
+	QueueDepth int   `json:"queue_depth"`
+	Running    int   `json:"running"`
+	Submitted  int64 `json:"submitted"` // cumulative; the controller differentiates it into an arrival rate
+	// Latency.
+	QueueWaitP99Sec float64 `json:"queue_wait_p99_sec"`
+	// MeanRunSec is the service's EWMA of per-job run seconds (0 until the
+	// first completion).
+	MeanRunSec float64 `json:"mean_run_sec"`
+	// Cost-model terms: the queued jobs' summed EstimatedBytes, and the
+	// calibrated rate at which one slot retires estimated bytes (EWMA of
+	// estBytes/runSec over completed jobs; 0 until the first completion).
+	QueuedEstBytes   int64   `json:"queued_est_bytes"`
+	ModelBytesPerSec float64 `json:"model_bytes_per_sec"`
+	// FastBurnRate is the worst per-tenant SLO burn rate over the fast
+	// (5-minute) window; >1 means some tenant's error budget is burning
+	// faster than sustainable.
+	FastBurnRate float64 `json:"fast_burn_rate"`
+}
+
+// Active is the pool capacity the controller reasons about: live slots that
+// are not draining away.
+func (s Signals) Active() int { return s.SlotsTotal - s.SlotsDraining }
+
+// Pool is the resizable engine pool the controller drives. Implementations
+// must be safe for concurrent use; serve.Service is the production one.
+type Pool interface {
+	// Observe returns the current signals.
+	Observe() Signals
+	// Resize sets the desired pool size. Growing may be lazy (slots are
+	// constructed when the dispatcher needs them); shrinking drains
+	// gracefully and never cancels a running job.
+	Resize(n int) error
+}
+
+// Decision is one grow or shrink the controller actually issued, kept in a
+// bounded ring for /v1/stats and the bench's decision trace.
+type Decision struct {
+	At        time.Time `json:"at"`
+	Direction string    `json:"direction"` // "up" | "down"
+	From      int       `json:"from"`      // active slots before
+	To        int       `json:"to"`        // desired slots after
+	Desired   int       `json:"desired"`   // the model's unclamped-by-step answer
+	Reason    string    `json:"reason"`
+	Signals   Signals   `json:"signals"`
+}
+
+// Status is the controller's externally visible state (embedded in /v1/stats
+// and the exit dump).
+type Status struct {
+	Min               int     `json:"min"`
+	Max               int     `json:"max"`
+	Desired           int     `json:"desired"`
+	LastReason        string  `json:"last_reason,omitempty"`
+	ArrivalRatePerSec float64 `json:"arrival_rate_per_sec"`
+	Ups               int64   `json:"ups"`
+	Downs             int64   `json:"downs"`
+	Holds             int64   `json:"holds"`
+	Ticks             int64   `json:"ticks"`
+}
+
+// desired computes the model's slot count for one observation. It returns
+// the clamped answer and the dominating reason.
+func (c Config) desired(sig Signals, arrivalPerSec float64) (int, string) {
+	cur := sig.Active()
+	svc := sig.MeanRunSec
+	if svc <= 0 && sig.ModelBytesPerSec <= 0 {
+		// Nothing has completed yet: the model is uncalibrated. Grow only on
+		// the direct evidence of a backlog with no free capacity.
+		if sig.QueueDepth > 0 && sig.SlotsFree == 0 {
+			return clamp(cur+1, c.Min, c.Max), "uncalibrated_backlog"
+		}
+		return clamp(cur, c.Min, c.Max), "uncalibrated"
+	}
+
+	// Utilization term: steady-state slots for the offered load.
+	nUtil := 0
+	if svc > 0 {
+		nUtil = int(math.Ceil(arrivalPerSec * svc / c.TargetUtilization))
+	}
+
+	// Backlog term: the model-priced queue must clear within the target
+	// wait, on top of the slots the running jobs already occupy.
+	var backlogSec float64
+	switch {
+	case sig.ModelBytesPerSec > 0:
+		backlogSec = float64(sig.QueuedEstBytes) / sig.ModelBytesPerSec
+	default:
+		backlogSec = float64(sig.QueueDepth) * svc
+	}
+	nBacklog := sig.Running
+	if backlogSec > 0 {
+		horizon := c.TargetQueueWaitSec
+		if svc > horizon {
+			horizon = svc // can't clear faster than one service time
+		}
+		nBacklog = sig.Running + int(math.Ceil(backlogSec/horizon))
+	}
+
+	desired, reason := nUtil, "utilization"
+	if nBacklog > desired {
+		desired, reason = nBacklog, "backlog"
+	}
+
+	// SLO escalation: measured latency or burn over budget with work still
+	// waiting means the model is underestimating — push one past current.
+	if sig.QueueDepth > 0 &&
+		(sig.QueueWaitP99Sec > c.TargetQueueWaitSec || sig.FastBurnRate > 1) &&
+		desired <= cur {
+		desired, reason = cur+1, "slo_burn"
+	}
+
+	if clamped := clamp(desired, c.Min, c.Max); clamped != desired {
+		return clamped, reason + "_clamped"
+	}
+	return desired, reason
+}
+
+func clamp(n, lo, hi int) int {
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}

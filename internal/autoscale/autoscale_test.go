@@ -1,0 +1,269 @@
+package autoscale
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dmac/internal/obs"
+)
+
+// fakePool is a scripted Pool: tests mutate sig between ticks and record
+// every Resize the controller issues. Resize updates the pool shape the way
+// the real service's lazy grow would after the dispatcher catches up.
+type fakePool struct {
+	mu      sync.Mutex
+	sig     Signals
+	resizes []int
+}
+
+func (p *fakePool) Observe() Signals {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sig
+}
+
+func (p *fakePool) Resize(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resizes = append(p.resizes, n)
+	p.sig.SlotsTotal = n
+	p.sig.SlotsDraining = 0
+	return nil
+}
+
+func (p *fakePool) set(mut func(*Signals)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mut(&p.sig)
+}
+
+// fakeClock is the injectable deterministic clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testConfig(clk *fakeClock) Config {
+	return Config{
+		Min:                1,
+		Max:                8,
+		TargetQueueWaitSec: 1,
+		TargetUtilization:  0.7,
+		ScaleUpCooldown:    time.Second,
+		ScaleDownCooldown:  5 * time.Second,
+		DownStableTicks:    3,
+		Now:                clk.Now,
+	}
+}
+
+func TestDesiredUncalibrated(t *testing.T) {
+	cfg := testConfig(newFakeClock()).withDefaults()
+
+	// Nothing has completed: no growth without direct backlog evidence.
+	n, reason := cfg.desired(Signals{SlotsTotal: 2, SlotsFree: 2}, 0)
+	if n != 2 || reason != "uncalibrated" {
+		t.Fatalf("idle uncalibrated: got (%d, %s), want (2, uncalibrated)", n, reason)
+	}
+	// Queue with no free slot: grow by one on the direct evidence.
+	n, reason = cfg.desired(Signals{SlotsTotal: 2, QueueDepth: 4, Running: 2}, 0)
+	if n != 3 || reason != "uncalibrated_backlog" {
+		t.Fatalf("backlogged uncalibrated: got (%d, %s), want (3, uncalibrated_backlog)", n, reason)
+	}
+}
+
+func TestDesiredTerms(t *testing.T) {
+	cfg := testConfig(newFakeClock()).withDefaults()
+	calibrated := Signals{
+		SlotsTotal: 2, SlotsFree: 1, Running: 1,
+		MeanRunSec: 0.5, ModelBytesPerSec: 1 << 20,
+	}
+
+	// Utilization: 10 arrivals/sec x 0.5s service / 0.7 target = 8 slots.
+	n, reason := cfg.desired(calibrated, 10)
+	if n != 8 || reason != "utilization" {
+		t.Fatalf("utilization: got (%d, %s), want (8, utilization)", n, reason)
+	}
+
+	// Backlog: 4 MiB queued at 1 MiB/s per slot must clear inside the 1s
+	// target -> 4 slots on top of the 1 running.
+	sig := calibrated
+	sig.QueueDepth = 4
+	sig.QueuedEstBytes = 4 << 20
+	n, reason = cfg.desired(sig, 0)
+	if n != 5 || reason != "backlog" {
+		t.Fatalf("backlog: got (%d, %s), want (5, backlog)", n, reason)
+	}
+
+	// SLO escalation: model says hold, but the measured queue-wait p99 is
+	// over target with work still waiting -> one past current.
+	sig = calibrated
+	sig.QueueDepth = 1
+	sig.QueueWaitP99Sec = 2.5
+	n, reason = cfg.desired(sig, 0)
+	if n != 3 || reason != "slo_burn" {
+		t.Fatalf("slo p99: got (%d, %s), want (3, slo_burn)", n, reason)
+	}
+	sig.QueueWaitP99Sec = 0
+	sig.FastBurnRate = 1.5
+	n, reason = cfg.desired(sig, 0)
+	if n != 3 || reason != "slo_burn" {
+		t.Fatalf("slo burn: got (%d, %s), want (3, slo_burn)", n, reason)
+	}
+
+	// Clamping: demand beyond Max is clamped and flagged.
+	n, reason = cfg.desired(calibrated, 100)
+	if n != 8 || reason != "utilization_clamped" {
+		t.Fatalf("clamp: got (%d, %s), want (8, utilization_clamped)", n, reason)
+	}
+}
+
+// TestControllerDecisionTrace drives the reconciliation loop tick by tick on
+// the fake clock through a surge and a quiet period, pinning the exact resize
+// sequence: immediate (cooldown-gated) growth, hysteresis-delayed one-step
+// shrink.
+func TestControllerDecisionTrace(t *testing.T) {
+	clk := newFakeClock()
+	pool := &fakePool{sig: Signals{SlotsTotal: 1, SlotsFree: 1}}
+	c := New(testConfig(clk), pool, obs.NewRegistry())
+
+	tick := func() {
+		clk.Advance(time.Second)
+		c.Tick()
+	}
+
+	// Quiet, calibrated service: hold at 1.
+	pool.set(func(s *Signals) { s.MeanRunSec = 0.1; s.ModelBytesPerSec = 1 << 20 })
+	tick()
+	tick()
+	if got := pool.resizes; len(got) != 0 {
+		t.Fatalf("quiet ticks resized: %v", got)
+	}
+
+	// Surge: 3 MiB of priced backlog on a busy pool -> grow to 1+3=4.
+	pool.set(func(s *Signals) {
+		s.SlotsFree = 0
+		s.Running = 1
+		s.QueueDepth = 6
+		s.QueuedEstBytes = 3 << 20
+	})
+	tick()
+	if got := pool.resizes; len(got) != 1 || got[0] != 4 {
+		t.Fatalf("surge tick: resizes %v, want [4]", got)
+	}
+
+	// Still surging: another grow is allowed once the up-cooldown passes.
+	pool.set(func(s *Signals) { s.QueuedEstBytes = 5 << 20; s.QueueDepth = 10; s.Running = 4; s.SlotsFree = 0 })
+	tick()
+	// Model wants 4 running + 5s of backlog = 9, clamped to Max.
+	if got := pool.resizes; len(got) != 2 || got[1] != 8 {
+		t.Fatalf("second surge tick: resizes %v, want [4 8]", got)
+	}
+
+	// Quiet again: the model wants 1, but a shrink needs DownStableTicks
+	// consecutive below-ticks AND the down-cooldown since the last scale.
+	pool.set(func(s *Signals) {
+		s.QueueDepth = 0
+		s.QueuedEstBytes = 0
+		s.Running = 0
+		s.SlotsFree = s.SlotsTotal
+	})
+	tick() // below x1 (cooldown also not yet passed)
+	tick() // below x2
+	tick() // below x3, but last scale was 3s ago < 5s cooldown
+	if got := pool.resizes; len(got) != 2 {
+		t.Fatalf("shrink before cooldown: resizes %v", got)
+	}
+	tick() // below x4, 4s — still inside cooldown
+	tick() // below x5, 5s since last scale: shrink one slot
+	if got := pool.resizes; len(got) != 3 || got[2] != 7 {
+		t.Fatalf("first shrink: resizes %v, want [... 7]", got)
+	}
+	// Next shrink needs the cooldown again (anchored at the last scale).
+	tick()
+	tick()
+	tick()
+	tick()
+	if got := pool.resizes; len(got) != 3 {
+		t.Fatalf("shrink ignored cooldown: resizes %v", got)
+	}
+	tick() // 5s since the down: next single-step shrink
+	if got := pool.resizes; len(got) != 4 || got[3] != 6 {
+		t.Fatalf("second shrink: resizes %v, want [... 6]", got)
+	}
+
+	// The decision ring recorded exactly the four resizes, in order, with
+	// directions and reasons.
+	ds := c.Decisions()
+	if len(ds) != 4 {
+		t.Fatalf("decisions: %d, want 4", len(ds))
+	}
+	wantDirs := []string{"up", "up", "down", "down"}
+	for i, d := range ds {
+		if d.Direction != wantDirs[i] {
+			t.Errorf("decision %d: direction %s, want %s", i, d.Direction, wantDirs[i])
+		}
+	}
+	if ds[0].Reason != "backlog" {
+		t.Errorf("first grow reason %q, want backlog", ds[0].Reason)
+	}
+	st := c.Status()
+	if st.Ups != 2 || st.Downs != 2 {
+		t.Errorf("status ups/downs = %d/%d, want 2/2", st.Ups, st.Downs)
+	}
+	if st.Desired != 6 {
+		t.Errorf("status desired = %d, want 6", st.Desired)
+	}
+}
+
+// TestControllerArrivalRate pins the Submitted-counter differentiation: a
+// steady 10 submits per 1s tick converges the arrival EWMA toward 10/s.
+func TestControllerArrivalRate(t *testing.T) {
+	clk := newFakeClock()
+	pool := &fakePool{sig: Signals{SlotsTotal: 1, SlotsFree: 1}}
+	c := New(testConfig(clk), pool, nil)
+	for i := 0; i < 12; i++ {
+		pool.set(func(s *Signals) { s.Submitted += 10 })
+		clk.Advance(time.Second)
+		c.Tick()
+	}
+	got := c.Status().ArrivalRatePerSec
+	if got < 9.5 || got > 10.5 {
+		t.Fatalf("arrival EWMA = %.2f, want ~10", got)
+	}
+}
+
+func TestControllerStopIdempotent(t *testing.T) {
+	pool := &fakePool{sig: Signals{SlotsTotal: 1, SlotsFree: 1}}
+
+	// Never started: Stop returns immediately.
+	c := New(Config{Interval: 10 * time.Millisecond}, pool, nil)
+	c.Stop()
+	c.Stop()
+
+	// Started: Stop halts the loop and is safe to repeat.
+	c2 := New(Config{Interval: time.Millisecond}, pool, nil)
+	c2.Start()
+	time.Sleep(5 * time.Millisecond)
+	c2.Stop()
+	c2.Stop()
+	if c2.Status().Ticks == 0 {
+		t.Error("started controller never ticked")
+	}
+}

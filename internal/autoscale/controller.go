@@ -1,0 +1,200 @@
+package autoscale
+
+import (
+	"sync"
+	"time"
+
+	"dmac/internal/obs"
+)
+
+// Controller is the reconciliation loop: every Interval (or every explicit
+// Tick) it observes the pool, runs the capacity model, and issues at most one
+// resize. All methods are safe for concurrent use.
+//
+// Locking contract: the controller never calls the pool while holding its own
+// mutex, and the pool implementation must never call back into the controller
+// while holding the lock its Observe/Resize take — serve.Service reads the
+// controller's Status before taking the service mutex for exactly this
+// reason.
+type Controller struct {
+	cfg  Config
+	pool Pool
+
+	mu          sync.Mutex
+	desired     int
+	lastScale   time.Time // last grow or shrink (cooldowns anchor here)
+	lastUp      time.Time
+	belowTicks  int // consecutive ticks the model wanted fewer slots
+	lastReason  string
+	arrivalEWMA float64
+	lastSub     int64
+	lastTick    time.Time
+	seeded      bool
+	decisions   []Decision // ring, newest last
+	ups, downs  int64
+	holds       int64
+	ticks       int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+
+	cDecisions *obs.CounterVec // direction: up | down | hold
+}
+
+// New builds a controller over the pool. The metrics registry may be nil.
+func New(cfg Config, pool Pool, m *obs.Registry) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:    cfg,
+		pool:   pool,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	if m != nil {
+		c.cDecisions = m.CounterVec("autoscale.decisions", "direction")
+	}
+	return c
+}
+
+// Config returns the controller's effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Start launches the background reconciliation loop. Safe to call once;
+// tests that drive Tick directly never call it.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		go c.run()
+	})
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent; a controller
+// that was never started stops immediately.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.startOnce.Do(func() { close(c.doneCh) }) // never started: nothing to wait out
+	<-c.doneCh
+}
+
+func (c *Controller) run() {
+	defer close(c.doneCh)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.Tick()
+		}
+	}
+}
+
+// Tick runs one reconciliation: observe, model, and (maybe) resize. Exported
+// so tests and alternative drivers can pace it deterministically.
+func (c *Controller) Tick() {
+	sig := c.pool.Observe()
+	now := c.cfg.Now()
+
+	c.mu.Lock()
+	c.ticks++
+	// Differentiate the cumulative submit counter into an arrival rate and
+	// smooth it: new evidence at half weight, so a one-tick burst doesn't
+	// whipsaw the pool but a sustained surge shows within a few ticks.
+	if c.seeded {
+		if dt := now.Sub(c.lastTick).Seconds(); dt > 0 {
+			inst := float64(sig.Submitted-c.lastSub) / dt
+			c.arrivalEWMA = 0.5*inst + 0.5*c.arrivalEWMA
+		}
+	} else {
+		c.seeded = true
+		c.desired = sig.Active()
+		c.lastScale = now
+	}
+	c.lastSub = sig.Submitted
+	c.lastTick = now
+	arrival := c.arrivalEWMA
+
+	desired, reason := c.cfg.desired(sig, arrival)
+	c.lastReason = reason
+	cur := sig.Active()
+
+	var resizeTo int // 0 = hold
+	var dir string
+	switch {
+	case desired > cur:
+		c.belowTicks = 0
+		if now.Sub(c.lastUp) >= c.cfg.ScaleUpCooldown {
+			resizeTo, dir = desired, "up"
+			c.lastUp = now
+			c.lastScale = now
+		}
+	case desired < cur:
+		c.belowTicks++
+		if c.belowTicks >= c.cfg.DownStableTicks && now.Sub(c.lastScale) >= c.cfg.ScaleDownCooldown {
+			// Retire one slot per decision: scale-down is cheap to repeat
+			// and expensive to regret.
+			resizeTo, dir = cur-1, "down"
+			c.lastScale = now
+			c.belowTicks = 0
+		}
+	default:
+		c.belowTicks = 0
+	}
+	if resizeTo > 0 {
+		c.desired = resizeTo
+		d := Decision{
+			At: now, Direction: dir, From: cur, To: resizeTo,
+			Desired: desired, Reason: reason, Signals: sig,
+		}
+		c.decisions = append(c.decisions, d)
+		if len(c.decisions) > c.cfg.DecisionLog {
+			c.decisions = c.decisions[len(c.decisions)-c.cfg.DecisionLog:]
+		}
+		if dir == "up" {
+			c.ups++
+		} else {
+			c.downs++
+		}
+	} else {
+		c.desired = cur
+		c.holds++
+	}
+	c.mu.Unlock()
+
+	if c.cDecisions != nil {
+		if resizeTo > 0 {
+			c.cDecisions.With(dir).Inc()
+		} else {
+			c.cDecisions.With("hold").Inc()
+		}
+	}
+	if resizeTo > 0 {
+		_ = c.pool.Resize(resizeTo)
+	}
+}
+
+// Status snapshots the controller's state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Min:               c.cfg.Min,
+		Max:               c.cfg.Max,
+		Desired:           c.desired,
+		LastReason:        c.lastReason,
+		ArrivalRatePerSec: c.arrivalEWMA,
+		Ups:               c.ups,
+		Downs:             c.downs,
+		Holds:             c.holds,
+		Ticks:             c.ticks,
+	}
+}
+
+// Decisions returns the recorded grow/shrink decisions, oldest first.
+func (c *Controller) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Decision(nil), c.decisions...)
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmac/internal/obs"
 	"dmac/internal/sched"
@@ -32,6 +33,14 @@ type Config struct {
 	// ShuffleLatencySec is the fixed cost per communication operation
 	// (job/stage setup in Spark terms). Defaults to 50 ms.
 	ShuffleLatencySec float64
+	// PaceCommLatencySec, when positive, spends this much wall-clock time on
+	// every communication primitive in addition to charging the model. The
+	// default (0) keeps runs model-only and as fast as the arithmetic allows,
+	// which is what the figure reproductions want; serving benches and demos
+	// turn pacing on so a job's wall time is dominated by genuine waiting —
+	// like a real cluster's shuffles — and an engine pool's capacity scales
+	// with its slot count instead of the host's core count.
+	PaceCommLatencySec float64
 	// FlopsPerSecPerThread is the modelled arithmetic throughput of one
 	// worker thread. Defaults to 2 GFLOP/s.
 	FlopsPerSecPerThread float64
@@ -253,6 +262,9 @@ func (c *Cluster) Metrics() *obs.Registry { return c.metrics.Load() }
 // code path that charges communication to NetStats, with the same byte
 // count, so trace totals and network totals agree exactly.
 func (c *Cluster) traceComm(stage int, name string, bytes int64, attrs ...obs.Attr) {
+	if c.cfg.PaceCommLatencySec > 0 {
+		time.Sleep(time.Duration(c.cfg.PaceCommLatencySec * float64(time.Second)))
+	}
 	if tr := c.tracer.Load(); tr.Enabled() {
 		base := []obs.Attr{obs.Int64("stage", int64(stage)), obs.Int64("bytes", bytes)}
 		tr.Event("comm", name, tr.Scope(), append(base, attrs...)...)

@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dmac/internal/autoscale"
+	"dmac/internal/dist"
+	"dmac/internal/matrix"
+	"dmac/internal/obs"
+	"dmac/internal/workload"
+)
+
+// pacedOptions are test options whose jobs spend real wall-clock time waiting
+// (comm pacing), so a slot stays observably busy long enough to race resizes
+// against running work deterministically.
+func pacedOptions(paceSec float64) Options {
+	opts := testOptions()
+	opts.Cluster.PaceCommLatencySec = paceSec
+	return opts
+}
+
+// slowJob is a served job with enough iterations that, paced, it runs for
+// hundreds of milliseconds.
+func slowJob(tenant string, seed int) JobSpec {
+	return JobSpec{
+		Tenant:   tenant,
+		Workload: "pagerank",
+		Params:   workload.Params{"nodes": 48, "iters": 4, "seed": float64(seed)},
+	}
+}
+
+// TestStatsExposeSlots pins satellite 1: pool-shape fields in the stats
+// snapshot and the serve.slots gauge family in the Prometheus exposition,
+// with autoscaling off.
+func TestStatsExposeSlots(t *testing.T) {
+	opts := testOptions()
+	opts.Metrics = obs.NewRegistry()
+	s := newTestService(t, opts)
+
+	st := s.Stats()
+	if st.SlotsTotal != 2 || st.SlotsFree != 2 || st.SlotsDraining != 0 || st.SlotsDesired != 2 {
+		t.Fatalf("stats slots: total %d free %d draining %d desired %d, want 2/2/0/2",
+			st.SlotsTotal, st.SlotsFree, st.SlotsDraining, st.SlotsDesired)
+	}
+	if st.Autoscale != nil {
+		t.Fatalf("fixed pool advertises autoscale status: %+v", st.Autoscale)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, opts.Metrics.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	expo := buf.String()
+	for _, state := range []string{"total", "free", "draining", "desired"} {
+		want := `dmac_serve_slots{state="` + state + `"}`
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestResizeGrowIsLazy pins that growing raises the desired size immediately
+// but constructs engines only when runnable work needs them.
+func TestResizeGrowIsLazy(t *testing.T) {
+	opts := pacedOptions(0.01)
+	opts.QueueCapacity = 16
+	opts.DefaultQuota = TenantQuota{MaxConcurrent: 8, MaxQueued: 16}
+	s := newTestService(t, opts)
+	if err := s.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SlotsDesired != 5 {
+		t.Fatalf("desired %d after Resize(5)", st.SlotsDesired)
+	}
+	if st.SlotsTotal != 2 {
+		t.Fatalf("grow constructed eagerly: total %d, want 2 until work arrives", st.SlotsTotal)
+	}
+
+	// Enough runnable work forces lazy construction past the initial size.
+	ids := make([]string, 5)
+	for i := range ids {
+		jst, err := s.Submit(slowJob("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = jst.ID
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i, id := range ids {
+		fin, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, fin.State, fin.Error)
+		}
+		params := workload.Params{"nodes": 48, "iters": 4, "seed": float64(i)}
+		want, _ := soloRun(t, opts, "pagerank", params)
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, wg := range want {
+			if got := res.Grids[name]; got == nil || !matrix.GridEqual(got, wg, 0) {
+				t.Errorf("job %d output %s diverged after lazy grow", i, name)
+			}
+		}
+	}
+	// Slots never leave the pool without a shrink, so the final total shows
+	// how far lazy construction actually went.
+	if st := s.Stats(); st.SlotsTotal < 3 {
+		t.Errorf("pool never grew: total %d after 5 concurrent jobs with desired 5", st.SlotsTotal)
+	}
+}
+
+// TestResizeShrinkDrainsBusySlots pins the drain protocol: shrinking under
+// running jobs marks slots draining, never cancels them, and retires each
+// slot only at its job's terminal transition.
+func TestResizeShrinkDrainsBusySlots(t *testing.T) {
+	opts := pacedOptions(0.02)
+	s := newTestService(t, opts)
+
+	a, err := s.Submit(slowJob("alice", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(slowJob("bob", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both slots busy; shrink to 1 must drain, not kill.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Running < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SlotsDraining != 1 || st.SlotsTotal != 2 || st.SlotsDesired != 1 {
+		t.Fatalf("after shrink under load: total %d draining %d desired %d, want 2/1/1",
+			st.SlotsTotal, st.SlotsDraining, st.SlotsDesired)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for i, id := range []string{a.ID, b.ID} {
+		fin, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %d: %s (%s) — a resize must never cancel a running job", i, fin.State, fin.Error)
+		}
+	}
+	// The draining slot retired at its terminal transition.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st = s.Stats()
+		if st.SlotsTotal == 1 && st.SlotsDraining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("draining slot never retired: total %d draining %d", st.SlotsTotal, st.SlotsDraining)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Results stayed bit-identical to solo runs.
+	for i, id := range []string{a.ID, b.ID} {
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := workload.Params{"nodes": 48, "iters": 4, "seed": float64(i + 1)}
+		want, _ := soloRun(t, opts, "pagerank", params)
+		for name, wg := range want {
+			if got := res.Grids[name]; got == nil || !matrix.GridEqual(got, wg, 0) {
+				t.Errorf("job %d output %s diverged across the drain", i, name)
+			}
+		}
+	}
+}
+
+// TestResizeGrowReclaimsDrainingSlot pins that a grow arriving while a slot
+// is draining undrains it instead of constructing a new engine.
+func TestResizeGrowReclaimsDrainingSlot(t *testing.T) {
+	opts := pacedOptions(0.02)
+	s := newTestService(t, opts)
+	a, err := s.Submit(slowJob("alice", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(slowJob("bob", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Running < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SlotsDraining != 1 {
+		t.Fatalf("draining %d, want 1", st.SlotsDraining)
+	}
+	if err := s.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SlotsDraining != 0 || st.SlotsTotal != 2 {
+		t.Fatalf("after undrain: total %d draining %d, want 2/0", st.SlotsTotal, st.SlotsDraining)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, id := range []string{a.ID, b.ID} {
+		if fin, err := s.Wait(ctx, id); err != nil || fin.State != StateDone {
+			t.Fatalf("job %s: %v %v", id, fin.State, err)
+		}
+	}
+	if st := s.Stats(); st.SlotsTotal != 2 {
+		t.Fatalf("reclaimed pool: total %d, want 2", st.SlotsTotal)
+	}
+}
+
+// TestResizeConcurrentChurnLosesNothing is the no-job-lost-or-duplicated
+// pin: jobs stream in while the pool is resized up and down concurrently;
+// every job reaches exactly one terminal Done state and the completion
+// counters balance.
+func TestResizeConcurrentChurnLosesNothing(t *testing.T) {
+	opts := pacedOptions(0.002)
+	opts.QueueCapacity = 128
+	opts.DefaultQuota = TenantQuota{MaxConcurrent: 8, MaxQueued: 64}
+	s := newTestService(t, opts)
+
+	const jobs = 36
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Resize(1 + rng.Intn(4)); err != nil {
+				return // service stopping
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	ids := make([]string, jobs)
+	for i := range ids {
+		st, err := s.Submit(slowJob("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i, id := range ids {
+		fin, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, fin.State, fin.Error)
+		}
+	}
+	close(stop)
+	churn.Wait()
+
+	st := s.Stats()
+	if st.Completed != jobs || st.Failed != 0 || st.Canceled != 0 {
+		t.Fatalf("accounting across churn: completed %d failed %d canceled %d, want %d/0/0",
+			st.Completed, st.Failed, st.Canceled, jobs)
+	}
+	if st.QueueDepth != 0 || st.Running != 0 || st.QueuedEstBytes != 0 {
+		t.Fatalf("leftover load: depth %d running %d queued bytes %d", st.QueueDepth, st.Running, st.QueuedEstBytes)
+	}
+}
+
+// TestShrinkDrainSafetyUnderChaos is satellite 3: a slot shrunk away while
+// running a job under injected worker kills and block corruption still
+// completes bit-identically (or fails typed after exhausted retries), and is
+// never canceled by the resize. Checkpointing is on, so recovery may also
+// restore from flushed snapshots.
+func TestShrinkDrainSafetyUnderChaos(t *testing.T) {
+	opts := pacedOptions(0.02)
+	opts.CheckpointDir = t.TempDir()
+	opts.Cluster.Faults = dist.FaultPlan{
+		Seed:        42,
+		Rate:        0.05,
+		TaskFaults:  true,
+		CorruptRate: 0.05,
+	}
+	s := newTestService(t, opts)
+
+	a, err := s.Submit(slowJob("alice", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(slowJob("bob", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Running < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := testOptions()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i, id := range []string{a.ID, b.ID} {
+		fin, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch fin.State {
+		case StateDone:
+			res, err := s.Result(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := workload.Params{"nodes": 48, "iters": 4, "seed": float64(i + 3)}
+			want, _ := soloRun(t, clean, "pagerank", params)
+			for name, wg := range want {
+				if got := res.Grids[name]; got == nil || !matrix.GridEqual(got, wg, 0) {
+					t.Errorf("job %d output %s diverged under chaos + drain", i, name)
+				}
+			}
+		case StateFailed:
+			if !fin.Faulted {
+				t.Errorf("job %d failed untyped under chaos: %s", i, fin.Error)
+			}
+		default:
+			t.Errorf("job %d: state %s — the resize must never cancel a draining slot's job", i, fin.State)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.SlotsTotal == 1 && st.SlotsDraining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("draining slot never retired under chaos")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRetryAfterShrinksOnPendingScaleUp is satellite 2: a queue-full
+// rejection advertises a shorter Retry-After once a scale-up is pending,
+// because capacity is about to arrive.
+func TestRetryAfterShrinksOnPendingScaleUp(t *testing.T) {
+	opts := pacedOptions(0.05)
+	opts.Slots = 1
+	opts.QueueCapacity = 3
+	// MaxConcurrent 1 keeps the queued jobs un-runnable while one runs, so a
+	// grown desired size is NOT immediately consumed by lazy construction —
+	// the pending-scale-up state stays observable.
+	opts.DefaultQuota = TenantQuota{MaxConcurrent: 1, MaxQueued: 16}
+	s := newTestService(t, opts)
+
+	if _, err := s.Submit(slowJob("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Running < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(slowJob("a", 11+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reject := func() *Rejection {
+		t.Helper()
+		_, err := s.Submit(slowJob("a", 99))
+		var rej *Rejection
+		if !errors.As(err, &rej) || !rej.Retryable {
+			t.Fatalf("want a retryable rejection, got %v", err)
+		}
+		return rej
+	}
+	before := reject()
+	if err := s.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	after := reject()
+	if after.RetryAfter >= before.RetryAfter {
+		t.Fatalf("Retry-After did not shrink on pending scale-up: before %v, after %v",
+			before.RetryAfter, after.RetryAfter)
+	}
+}
+
+// TestAutoscaleEndToEnd wires the real controller to a real service: a burst
+// of slow jobs must grow the pool within the bounds, and an idle cooldown
+// must shrink it back to min — with every job completing.
+func TestAutoscaleEndToEnd(t *testing.T) {
+	opts := pacedOptions(0.02)
+	opts.Slots = 1
+	opts.QueueCapacity = 64
+	opts.DefaultQuota = TenantQuota{MaxConcurrent: 8, MaxQueued: 32}
+	opts.Autoscale = &autoscale.Config{
+		Min:                1,
+		Max:                4,
+		TargetQueueWaitSec: 0.05,
+		Interval:           20 * time.Millisecond,
+		ScaleUpCooldown:    20 * time.Millisecond,
+		ScaleDownCooldown:  300 * time.Millisecond,
+		DownStableTicks:    3,
+	}
+	s := newTestService(t, opts)
+
+	var ids []string
+	for i := 0; i < 12; i++ {
+		st, err := s.Submit(slowJob("t", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	peak := 1
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			st := s.Stats()
+			if st.SlotsTotal > peak {
+				peak = st.SlotsTotal
+			}
+			if st.Completed+st.Failed+st.Canceled >= int64(len(ids)) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	for i, id := range ids {
+		fin, err := s.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, fin.State, fin.Error)
+		}
+	}
+	<-done
+	if peak < 2 {
+		t.Errorf("autoscaler never grew the pool: peak %d", peak)
+	}
+
+	// Idle: the pool shrinks back to min within a few cooldowns.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := s.Stats()
+		if st.SlotsTotal == 1 && st.SlotsDraining == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never shrank back: total %d", st.SlotsTotal)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := s.Stats()
+	if st.Autoscale == nil {
+		t.Fatal("autoscale status missing from stats")
+	}
+	if st.Autoscale.Ups == 0 || st.Autoscale.Downs == 0 {
+		t.Errorf("decision counters: ups %d downs %d, want both > 0", st.Autoscale.Ups, st.Autoscale.Downs)
+	}
+	if ds := s.AutoscaleDecisions(); len(ds) == 0 {
+		t.Error("no decisions recorded")
+	}
+}
+
+// TestResizeValidation pins the error paths: resizing below 1 and resizing a
+// stopping service both fail.
+func TestResizeValidation(t *testing.T) {
+	s := newTestService(t, testOptions())
+	if err := s.Resize(0); err == nil {
+		t.Error("Resize(0) succeeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resize(2); err == nil {
+		t.Error("Resize on a stopped service succeeded")
+	}
+}

@@ -157,6 +157,36 @@ type SLOSnapshot struct {
 	Tenants map[string]TenantSLO `json:"tenants"`
 }
 
+// maxFastBurn is the worst per-tenant burn rate over the fast (5m) window —
+// the autoscaler's SLO-escalation signal. Zero until any tenant records a
+// terminal job in the window.
+func (t *sloTracker) maxFastBurn() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nowEpoch := t.now().Unix() / sloBucketSec
+	fast := sloWindows[0]
+	var worst float64
+	for _, s := range t.tenants {
+		var count, bad int64
+		for i := range s.buckets {
+			b := &s.buckets[i]
+			if b.epoch <= nowEpoch-int64(fast.Buckets) || b.epoch > nowEpoch {
+				continue
+			}
+			count += b.count
+			bad += b.errors + b.slow
+		}
+		if count == 0 {
+			continue
+		}
+		burn := (float64(bad) / float64(count)) / (1 - s.cfg.Objective)
+		if burn > worst {
+			worst = burn
+		}
+	}
+	return worst
+}
+
 // snapshot aggregates every tenant's windows as of now.
 func (t *sloTracker) snapshot() SLOSnapshot {
 	t.mu.Lock()
